@@ -1,0 +1,100 @@
+// Command diskprof builds the empirical disk model of a DBMS/OS/hardware
+// configuration by sweeping working-set sizes and row-update rates on the
+// simulator (paper Section 4.1, Figure 4), and writes the fitted profile as
+// JSON for use by `kairos consolidate`.
+//
+// Usage:
+//
+//	diskprof [-quick] [-o profile.json] [-ws 1000,2000,3500] [-rates 1000,8000,20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kairos/internal/model"
+)
+
+func parseList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "use a reduced sweep (seconds instead of minutes)")
+		out     = flag.String("o", "", "write profile JSON to this file (default stdout)")
+		wsList  = flag.String("ws", "", "comma-separated working-set sizes in MB")
+		rates   = flag.String("rates", "", "comma-separated row-update rates (rows/sec)")
+		settle  = flag.Duration("settle", 0, "override per-point settle window")
+		measure = flag.Duration("measure", 0, "override per-point measure window")
+	)
+	flag.Parse()
+
+	pr := model.DefaultProfiler()
+	if *quick {
+		pr.WSPointsMB = []float64{500, 1500, 3000}
+		pr.RatePoints = []float64{1000, 4000, 10000, 20000, 40000}
+		pr.Settle = 30 * time.Second
+		pr.Measure = 30 * time.Second
+	}
+	if ws, err := parseList(*wsList); err != nil {
+		fmt.Fprintln(os.Stderr, "diskprof:", err)
+		os.Exit(2)
+	} else if len(ws) > 0 {
+		pr.WSPointsMB = ws
+	}
+	if rs, err := parseList(*rates); err != nil {
+		fmt.Fprintln(os.Stderr, "diskprof:", err)
+		os.Exit(2)
+	} else if len(rs) > 0 {
+		pr.RatePoints = rs
+	}
+	if *settle > 0 {
+		pr.Settle = *settle
+	}
+	if *measure > 0 {
+		pr.Measure = *measure
+	}
+
+	fmt.Fprintf(os.Stderr, "diskprof: sweeping %d working sets x %d rates (%v simulated per point)...\n",
+		len(pr.WSPointsMB), len(pr.RatePoints), pr.Settle+pr.Measure)
+	start := time.Now()
+	profile, err := pr.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diskprof:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "diskprof: done in %v (%d points, envelope=%v)\n",
+		time.Since(start).Round(time.Millisecond), len(profile.Points), profile.HasEnvelope)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diskprof:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := profile.Save(w); err != nil {
+		fmt.Fprintln(os.Stderr, "diskprof:", err)
+		os.Exit(1)
+	}
+}

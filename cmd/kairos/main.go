@@ -1,0 +1,249 @@
+// Command kairos is the command-line front end to the Kairos consolidation
+// system. Subcommands cover the whole paper pipeline:
+//
+//	kairos profile-disk   build the empirical disk model of the target hardware
+//	kairos gauge          measure a DBMS working set by buffer-pool gauging
+//	kairos consolidate    compute a consolidation plan for a fleet
+//	kairos report         run the full Figure-7 style consolidation report
+//
+// Run `kairos <subcommand> -h` for per-command flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kairos"
+	"kairos/internal/core"
+	"kairos/internal/dbms"
+	"kairos/internal/disk"
+	"kairos/internal/fleet"
+	"kairos/internal/model"
+	"kairos/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile-disk":
+		err = cmdProfileDisk(os.Args[2:])
+	case "gauge":
+		err = cmdGauge(os.Args[2:])
+	case "consolidate":
+		err = cmdConsolidate(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kairos: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kairos:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: kairos <subcommand> [flags]
+
+subcommands:
+  profile-disk   build the empirical disk model (Figure 4)
+  gauge          buffer-pool gauging demo on a simulated DBMS (Figure 2)
+  consolidate    consolidate a fleet onto 12-core/96GB targets (Figure 7)
+  report         consolidation report over all datasets
+`)
+}
+
+func cmdProfileDisk(args []string) error {
+	fs := flag.NewFlagSet("profile-disk", flag.ExitOnError)
+	quick := fs.Bool("quick", true, "use the reduced sweep")
+	out := fs.String("o", "disk-profile.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pr := model.DefaultProfiler()
+	if *quick {
+		pr = kairos.QuickProfiler()
+	}
+	fmt.Printf("profiling %q (%d x %d sweep)...\n", pr.ConfigName, len(pr.WSPointsMB), len(pr.RatePoints))
+	dp, err := pr.Run()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dp.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d points, saturation envelope=%v)\n", *out, len(dp.Points), dp.HasEnvelope)
+	return nil
+}
+
+func cmdGauge(args []string) error {
+	fs := flag.NewFlagSet("gauge", flag.ExitOnError)
+	poolMB := fs.Int64("pool", 953, "buffer pool size (MB)")
+	warehouses := fs.Int("warehouses", 2, "TPC-C scale of the hosted workload")
+	tps := fs.Float64("tps", 100, "workload transaction rate")
+	window := fs.Duration("window", 5*time.Second, "observation window per probe step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := disk.New(disk.Server7200SATA())
+	if err != nil {
+		return err
+	}
+	cfg := dbms.DefaultConfig()
+	cfg.BufferPoolBytes = *poolMB << 20
+	in, err := dbms.NewInstance(cfg, d, 0)
+	if err != nil {
+		return err
+	}
+	spec := workload.TPCC(*warehouses, *tps)
+	gen, err := workload.Provision(in, spec, true)
+	if err != nil {
+		return err
+	}
+	gc := kairos.GaugeConfig{
+		ProbeTable: "kairos_probe", InitialGrowPages: 256, MaxStealFraction: 0.95,
+		Window: *window, ScansPerWindow: 5, ReadIncreaseThreshold: 20,
+		Tick: 100 * time.Millisecond,
+	}
+	fmt.Printf("pool %d MB, hidden working set %d MB; gauging...\n",
+		*poolMB, spec.WorkingSetBytes()>>20)
+	res, err := kairos.GaugeWorkingSet(in, []*workload.Generator{gen}, gc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("stolen_MB  reads_per_sec")
+	for _, pt := range res.Curve {
+		fmt.Printf("%9.0f  %13.1f\n", float64(pt.StolenBytes)/1e6, pt.ReadsPerSec)
+	}
+	fmt.Printf("detected=%v  gauged working set = %d MB (true %d MB)  elapsed %v\n",
+		res.Detected, res.WorkingSetBytes>>20, spec.WorkingSetBytes()>>20, res.Elapsed)
+	return nil
+}
+
+func pickFleet(name string) (fleet.Fleet, error) {
+	switch strings.ToLower(name) {
+	case "internal":
+		return fleet.Generate(fleet.Internal), nil
+	case "wikia":
+		return fleet.Generate(fleet.Wikia), nil
+	case "wikipedia":
+		return fleet.Generate(fleet.Wikipedia), nil
+	case "secondlife":
+		return fleet.Generate(fleet.SecondLife), nil
+	case "all":
+		return fleet.All(), nil
+	default:
+		return fleet.Fleet{}, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func loadProfile(path string) (*model.DiskProfile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.LoadProfile(f)
+}
+
+func cmdConsolidate(args []string) error {
+	fs := flag.NewFlagSet("consolidate", flag.ExitOnError)
+	dataset := fs.String("dataset", "internal", "internal|wikia|wikipedia|secondlife|all")
+	traces := fs.String("traces", "", "consolidate recorded traces from this CSV file instead of a built-in dataset")
+	profilePath := fs.String("profile", "", "disk profile JSON from profile-disk (omit to skip the disk constraint)")
+	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
+	headroom := fs.Float64("headroom", 0.05, "per-machine safety margin")
+	verbose := fs.Bool("v", false, "print the full placement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var f fleet.Fleet
+	var err error
+	if *traces != "" {
+		file, ferr := os.Open(*traces)
+		if ferr != nil {
+			return ferr
+		}
+		f, err = fleet.ReadCSV(file, *traces)
+		file.Close()
+	} else {
+		f, err = pickFleet(*dataset)
+	}
+	if err != nil {
+		return err
+	}
+	dp, err := loadProfile(*profilePath)
+	if err != nil {
+		return err
+	}
+	wls := f.Workloads(*ramScale)
+	machines := make([]core.Machine, len(f.Servers))
+	for i := range machines {
+		machines[i] = fleet.TargetMachine(fmt.Sprintf("target-%02d", i), 50e6, *headroom)
+	}
+	plan, err := kairos.Consolidate(wls, machines, dp, kairos.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d servers -> %d machines (%.1f:1), feasible=%v, solved in %v\n",
+		f.Name, len(f.Servers), plan.K, plan.ConsolidationRatio(len(f.Servers)),
+		plan.Feasible, plan.Elapsed.Round(time.Millisecond))
+	if *verbose {
+		fmt.Print(plan)
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %8s %8s %9s\n", "dataset", "servers", "kairos", "ideal", "ratio")
+	names := []string{"internal", "wikia", "wikipedia", "secondlife", "all"}
+	for _, name := range names {
+		f, err := pickFleet(name)
+		if err != nil {
+			return err
+		}
+		wls := f.Workloads(*ramScale)
+		machines := make([]core.Machine, len(f.Servers))
+		for i := range machines {
+			machines[i] = fleet.TargetMachine(fmt.Sprintf("t%d", i), 50e6, 0.05)
+		}
+		p := &core.Problem{Workloads: wls, Machines: machines}
+		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		if err != nil {
+			return err
+		}
+		ev, err := core.NewEvaluator(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8d %8d %8d %8.1f:1\n",
+			f.Name, len(f.Servers), sol.K, ev.FractionalLowerBound(),
+			sol.ConsolidationRatio(len(f.Servers)))
+	}
+	return nil
+}

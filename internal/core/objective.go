@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+)
+
+// penaltyWeight scales constraint violations so that any violating solution
+// scores worse than any feasible one (a feasible K-server solution is at
+// most K·e ≈ 2.72·K; violations add penaltyWeight per unit of relative
+// excess) — the "constraint violation penalty" wall in Figure 5.
+const penaltyWeight = 1e6
+
+// Evaluator computes the consolidation objective for assignments of a fixed
+// problem. It precomputes flat per-unit demand arrays so evaluation is tight
+// loops over []float64.
+type Evaluator struct {
+	p       *Problem
+	units   []unit
+	T       int
+	weights Weights
+
+	// Per-unit demand arrays (length T each).
+	cpu  [][]float64
+	ram  [][]float64
+	ws   [][]float64
+	rate [][]float64
+
+	// scale[u] multiplies unit u's demands (per-replica load scaling).
+	scale []float64
+	// pin[u] is the required machine for unit u, or -1.
+	pin []int
+	// conflicts[u] lists units that must not share a machine with u.
+	conflicts [][]int
+
+	// Fevals counts full-assignment evaluations.
+	Fevals int
+}
+
+// NewEvaluator validates the problem and prepares the evaluation arrays.
+func NewEvaluator(p *Problem) (*Evaluator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := p.Weights
+	if w.CPU == 0 && w.RAM == 0 && w.Disk == 0 {
+		w = DefaultWeights()
+	}
+	units := p.units()
+	ev := &Evaluator{
+		p:       p,
+		units:   units,
+		T:       p.Workloads[0].CPU.Len(),
+		weights: w,
+		cpu:     make([][]float64, len(units)),
+		ram:     make([][]float64, len(units)),
+		ws:      make([][]float64, len(units)),
+		rate:    make([][]float64, len(units)),
+		scale:   make([]float64, len(units)),
+		pin:     make([]int, len(units)),
+	}
+	zero := make([]float64, ev.T)
+	for u, un := range units {
+		wl := &p.Workloads[un.w]
+		ev.cpu[u] = wl.CPU.Values
+		ev.ram[u] = wl.RAMBytes.Values
+		if wl.WSBytes != nil {
+			ev.ws[u] = wl.WSBytes.Values
+		} else {
+			ev.ws[u] = zero
+		}
+		if wl.UpdateRate != nil {
+			ev.rate[u] = wl.UpdateRate.Values
+		} else {
+			ev.rate[u] = zero
+		}
+		ev.scale[u] = 1
+		if un.replica < len(wl.ReplicaLoadScale) {
+			ev.scale[u] = wl.ReplicaLoadScale[un.replica]
+		}
+		ev.pin[u] = -1
+		if un.replica == 0 && wl.PinTo >= 0 {
+			ev.pin[u] = wl.PinTo
+		}
+	}
+
+	// Conflicts: replicas of the same workload, plus explicit pairs.
+	byWorkload := map[int][]int{}
+	for u, un := range units {
+		byWorkload[un.w] = append(byWorkload[un.w], u)
+	}
+	ev.conflicts = make([][]int, len(units))
+	addConflict := func(a, b int) {
+		ev.conflicts[a] = append(ev.conflicts[a], b)
+		ev.conflicts[b] = append(ev.conflicts[b], a)
+	}
+	for _, us := range byWorkload {
+		for i := 0; i < len(us); i++ {
+			for j := i + 1; j < len(us); j++ {
+				addConflict(us[i], us[j])
+			}
+		}
+	}
+	for _, pair := range p.AntiAffinity {
+		for _, a := range byWorkload[pair[0]] {
+			for _, b := range byWorkload[pair[1]] {
+				addConflict(a, b)
+			}
+		}
+	}
+	return ev, nil
+}
+
+// NumUnits returns the number of placement units (workloads × replicas).
+func (ev *Evaluator) NumUnits() int { return len(ev.units) }
+
+// Units returns the unit descriptors in assignment order.
+func (ev *Evaluator) Units() []UnitRef {
+	out := make([]UnitRef, len(ev.units))
+	for i, u := range ev.units {
+		out[i] = UnitRef{Workload: u.w, Replica: u.replica}
+	}
+	return out
+}
+
+// ServerLoad holds one machine's aggregate demands under an assignment.
+type ServerLoad struct {
+	Machine  int
+	Used     bool
+	CPU      []float64 // aggregate CPU over time
+	RAMPeak  float64
+	CPUPeak  float64
+	DiskPeak float64 // predicted write bytes/sec at the worst time step
+	// Violation is the summed relative excess over capacity (0 = feasible).
+	Violation float64
+	// NormLoad is the weighted normalized load in [0,1] used by the
+	// balance objective.
+	NormLoad float64
+}
+
+// serverEval computes one machine's load, violation and objective
+// contribution given the member unit set.
+func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
+	m := ev.p.Machines[j]
+	sl := ServerLoad{Machine: j, Used: len(members) > 0}
+	if !sl.Used {
+		return sl
+	}
+	T := ev.T
+	cpuSum := make([]float64, T)
+	ramSum := make([]float64, T)
+	wsSum := make([]float64, T)
+	rateSum := make([]float64, T)
+	for _, u := range members {
+		cu, ru, wu, qu := ev.cpu[u], ev.ram[u], ev.ws[u], ev.rate[u]
+		k := ev.scale[u]
+		for t := 0; t < T; t++ {
+			cpuSum[t] += k * cu[t]
+			ramSum[t] += k * ru[t]
+			wsSum[t] += k * wu[t]
+			rateSum[t] += k * qu[t]
+		}
+	}
+	var ramPeak float64
+	for t := 0; t < T; t++ {
+		if cpuSum[t] > sl.CPUPeak {
+			sl.CPUPeak = cpuSum[t]
+		}
+		if ramSum[t] > ramPeak {
+			ramPeak = ramSum[t]
+		}
+	}
+	sl.CPU = cpuSum
+	sl.RAMPeak = ramPeak
+
+	cpuCap := m.capacity(m.CPUCapacity)
+	ramCap := m.capacity(m.RAMBytes)
+	if sl.CPUPeak > cpuCap {
+		sl.Violation += (sl.CPUPeak - cpuCap) / cpuCap
+	}
+	if sl.RAMPeak > ramCap {
+		sl.Violation += (sl.RAMPeak - ramCap) / ramCap
+	}
+
+	var diskNorm float64
+	if ev.p.Disk != nil {
+		diskCap := m.capacity(m.DiskWriteBps)
+		for t := 0; t < T; t++ {
+			pred := ev.p.Disk.PredictWriteMBps(wsSum[t], rateSum[t]) * 1e6
+			if pred > sl.DiskPeak {
+				sl.DiskPeak = pred
+			}
+			if ev.p.Disk.HasEnvelope {
+				if maxRate := ev.p.Disk.MaxRowsPerSec(wsSum[t]); rateSum[t] > maxRate && maxRate > 0 {
+					sl.Violation += (rateSum[t] - maxRate) / maxRate / float64(T)
+				}
+			}
+		}
+		if sl.DiskPeak > diskCap {
+			sl.Violation += (sl.DiskPeak - diskCap) / diskCap
+		}
+		diskNorm = sl.DiskPeak / diskCap
+	}
+
+	// Latency SLAs: the strictest member SLA caps this machine's
+	// utilization; exceeding it is a violation even when raw capacity
+	// would allow more packing.
+	if slaCap := ev.slaCap(members); slaCap < 1 {
+		util := sl.CPUPeak / cpuCap
+		if r := ramPeak / ramCap; r > util {
+			util = r
+		}
+		if diskNorm > util {
+			util = diskNorm
+		}
+		if util > slaCap {
+			sl.Violation += (util - slaCap) / slaCap
+		}
+	}
+
+	// Balance term: weighted normalized load, clamped to [0,1] so exp stays
+	// within sane numeric range (the paper normalizes the exponent too).
+	w := ev.weights
+	denom := w.CPU + w.RAM + w.Disk
+	norm := (w.CPU*sl.CPUPeak/cpuCap + w.RAM*ramPeak/ramCap + w.Disk*diskNorm) / denom
+	if norm > 1 {
+		norm = 1
+	}
+	if norm < 0 {
+		norm = 0
+	}
+	sl.NormLoad = norm
+	return sl
+}
+
+// contribution converts a server load into its objective term.
+func contribution(sl ServerLoad) float64 {
+	if !sl.Used {
+		return 0
+	}
+	return math.Exp(sl.NormLoad) + penaltyWeight*sl.Violation
+}
+
+// Eval computes the full objective of an assignment over the first K
+// machines. Assignments outside [0,K) are clamped.
+func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
+	ev.Fevals++
+	members := make([][]int, K)
+	feasible = true
+	for u, j := range assign {
+		if j < 0 {
+			j = 0
+		}
+		if j >= K {
+			j = K - 1
+		}
+		members[j] = append(members[j], u)
+		if ev.pin[u] >= 0 && ev.pin[u] != j {
+			obj += penaltyWeight
+			feasible = false
+		}
+	}
+	for j := 0; j < K; j++ {
+		// Anti-affinity: count conflicting pairs sharing this machine.
+		for ai, a := range members[j] {
+			for _, b := range members[j][ai+1:] {
+				if ev.conflicted(a, b) {
+					obj += penaltyWeight
+					feasible = false
+				}
+			}
+		}
+		sl := ev.serverEval(j, members[j])
+		if sl.Violation > 0 {
+			feasible = false
+		}
+		obj += contribution(sl)
+	}
+	return obj, feasible
+}
+
+// conflicted reports whether units a and b must not share a machine.
+func (ev *Evaluator) conflicted(a, b int) bool {
+	for _, c := range ev.conflicts[a] {
+		if c == b {
+			return true
+		}
+	}
+	return false
+}
+
+// FitsOneMachine reports whether the given units can share machine j within
+// every resource constraint and without anti-affinity conflicts. Baselines
+// (the greedy packer) and what-if tools use it directly.
+func (ev *Evaluator) FitsOneMachine(j int, units []int) bool {
+	for ai, a := range units {
+		for _, b := range units[ai+1:] {
+			if ev.conflicted(a, b) {
+				return false
+			}
+		}
+	}
+	return ev.serverEval(j, units).Violation == 0
+}
+
+// Report computes per-machine loads for a final assignment.
+func (ev *Evaluator) Report(assign []int, K int) []ServerLoad {
+	members := make([][]int, K)
+	for u, j := range assign {
+		if j >= 0 && j < K {
+			members[j] = append(members[j], u)
+		}
+	}
+	out := make([]ServerLoad, K)
+	for j := 0; j < K; j++ {
+		out[j] = ev.serverEval(j, members[j])
+	}
+	return out
+}

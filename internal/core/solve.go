@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kairos/internal/direct"
+	"kairos/internal/greedy"
+)
+
+// SolveOptions tunes the consolidation solver.
+type SolveOptions struct {
+	// DirectFevals is the DIRECT evaluation budget per K probed during the
+	// binary search (default 2000).
+	DirectFevals int
+	// PolishFevals is the extra DIRECT budget for the final K (default
+	// 2·DirectFevals).
+	PolishFevals int
+	// FixedK forces the solver to use exactly this many machines (0 = find
+	// the minimum feasible K automatically).
+	FixedK int
+	// SkipDirect uses only greedy seeding plus hill climbing — the fast
+	// path for very large instances.
+	SkipDirect bool
+}
+
+// DefaultSolveOptions returns the standard budgets.
+func DefaultSolveOptions() SolveOptions {
+	return SolveOptions{DirectFevals: 2000}
+}
+
+// Solve finds a consolidation plan: the minimum feasible machine count K'
+// via binary search between the fractional lower bound and the greedy upper
+// bound, then the most balanced assignment on K' machines (paper Section 6).
+func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
+	start := time.Now()
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	if opt.DirectFevals <= 0 {
+		opt.DirectFevals = 2000
+	}
+	if opt.PolishFevals <= 0 {
+		opt.PolishFevals = 2 * opt.DirectFevals
+	}
+
+	maxK := len(p.Machines)
+	lo := ev.FractionalLowerBound()
+	if lo > maxK {
+		return nil, fmt.Errorf("core: fractional lower bound %d exceeds available machines %d", lo, maxK)
+	}
+	// Pinning forces machines up to the highest pinned index.
+	for _, pin := range ev.pin {
+		if pin >= 0 && pin+1 > lo {
+			lo = pin + 1
+		}
+	}
+
+	if opt.FixedK > 0 {
+		if opt.FixedK > maxK {
+			return nil, fmt.Errorf("core: FixedK %d exceeds available machines %d", opt.FixedK, maxK)
+		}
+		assign, objv, feas := ev.solveK(opt.FixedK, opt, true)
+		return ev.finish(p, assign, opt.FixedK, objv, feas, start), nil
+	}
+
+	// Upper bound: greedy packing (validated against all constraints); if
+	// greedy fails, fall back to every available machine.
+	hi := maxK
+	if bins, ok := ev.greedySeed(maxK); ok {
+		hi = len(bins)
+	}
+	if hi < lo {
+		hi = lo
+	}
+
+	// Binary search the smallest feasible K. Feasibility at K is decided by
+	// a budgeted solve; the search keeps the best feasible solution found.
+	type best struct {
+		assign []int
+		obj    float64
+		k      int
+	}
+	var found *best
+	for lo < hi {
+		mid := (lo + hi) / 2
+		assign, objv, feas := ev.solveK(mid, opt, false)
+		if feas {
+			found = &best{assign: assign, obj: objv, k: mid}
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	kStar := lo
+	// Final run at K' with the polish budget.
+	assign, objv, feas := ev.solveK(kStar, opt, true)
+	if !feas && found != nil && found.k == kStar {
+		assign, objv, feas = found.assign, found.obj, true
+	}
+	if !feas && kStar < maxK {
+		// The bound search can be misled by budgeted solves; walk K upward
+		// until feasible.
+		for k := kStar + 1; k <= maxK; k++ {
+			assign, objv, feas = ev.solveK(k, opt, true)
+			if feas {
+				kStar = k
+				break
+			}
+		}
+	}
+	return ev.finish(p, assign, kStar, objv, feas, start), nil
+}
+
+// finish assembles the Solution.
+func (ev *Evaluator) finish(p *Problem, assign []int, k int, obj float64, feasible bool, start time.Time) *Solution {
+	return &Solution{
+		Assign:    assign,
+		Units:     ev.Units(),
+		K:         k,
+		Feasible:  feasible,
+		Objective: obj,
+		Fevals:    ev.Fevals,
+		Elapsed:   time.Since(start),
+	}
+}
+
+// FractionalLowerBound computes the paper's optimistic bound: workloads are
+// divisible and resources independent, so K must be at least the peak
+// aggregate demand of each resource divided by per-machine capacity.
+func (ev *Evaluator) FractionalLowerBound() int {
+	T := ev.T
+	cpuSum := make([]float64, T)
+	ramSum := make([]float64, T)
+	wsSum := make([]float64, T)
+	rateSum := make([]float64, T)
+	for u := range ev.units {
+		for t := 0; t < T; t++ {
+			cpuSum[t] += ev.cpu[u][t]
+			ramSum[t] += ev.ram[u][t]
+			wsSum[t] += ev.ws[u][t]
+			rateSum[t] += ev.rate[u][t]
+		}
+	}
+	m := ev.p.Machines[0]
+	k := 1
+	for t := 0; t < T; t++ {
+		if need := int(math.Ceil(cpuSum[t] / m.capacity(m.CPUCapacity))); need > k {
+			k = need
+		}
+		if need := int(math.Ceil(ramSum[t] / m.capacity(m.RAMBytes))); need > k {
+			k = need
+		}
+	}
+	if ev.p.Disk != nil {
+		diskCap := m.capacity(m.DiskWriteBps)
+		for t := 0; t < T; t++ {
+			// Smallest split count making the disk model feasible; the
+			// profile is monotone in both arguments, so scan upward.
+			for n := k; n <= len(ev.p.Machines); n++ {
+				pred := ev.p.Disk.PredictWriteMBps(wsSum[t]/float64(n), rateSum[t]/float64(n)) * 1e6
+				ok := pred <= diskCap
+				if ok && ev.p.Disk.HasEnvelope {
+					ok = rateSum[t]/float64(n) <= ev.p.Disk.MaxRowsPerSec(wsSum[t]/float64(n))
+				}
+				if ok {
+					if n > k {
+						k = n
+					}
+					break
+				}
+				if n == len(ev.p.Machines) && n > k {
+					k = n
+				}
+			}
+		}
+	}
+	return k
+}
+
+// greedySeed packs units with the paper's single-resource greedy baseline,
+// using the full multi-resource feasibility check, and returns bins.
+func (ev *Evaluator) greedySeed(maxBins int) ([][]int, bool) {
+	nU := len(ev.units)
+	peak := func(vals [][]float64) []float64 {
+		out := make([]float64, nU)
+		for u := 0; u < nU; u++ {
+			for _, v := range vals[u] {
+				if v > out[u] {
+					out[u] = v
+				}
+			}
+		}
+		return out
+	}
+	loads := [][]float64{peak(ev.cpu), peak(ev.ram)}
+	if ev.p.Disk != nil {
+		loads = append(loads, peak(ev.rate))
+	}
+	fits := func(bin []int, item int) bool {
+		// Pins and conflicts cannot be checked bin-locally against machine
+		// indices, so the greedy seed only enforces resources and
+		// conflicts; pinning is repaired by hill climbing.
+		for _, b := range bin {
+			if ev.conflicted(b, item) {
+				return false
+			}
+		}
+		members := append(append([]int(nil), bin...), item)
+		sl := ev.serverEval(0, members)
+		return sl.Violation == 0
+	}
+	bins, ok, err := greedy.MultiResource(loads, fits, maxBins)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return bins, true
+}
+
+// solveK finds the best assignment on exactly K machines with the given
+// budget: greedy and spread seeds improved by hill climbing, plus an
+// optional DIRECT global search, polished again. Deterministic throughout.
+func (ev *Evaluator) solveK(K int, opt SolveOptions, polish bool) (assign []int, obj float64, feasible bool) {
+	nU := len(ev.units)
+	type cand struct {
+		assign []int
+		obj    float64
+		feas   bool
+	}
+	var cands []cand
+	try := func(a []int) {
+		a2, o2, f2 := ev.hillClimb(a, K)
+		cands = append(cands, cand{a2, o2, f2})
+	}
+
+	// Seed 1: greedy bins (may use fewer than K machines).
+	if bins, ok := ev.greedySeed(K); ok {
+		a := greedy.Assignment(bins, nU)
+		for u := range a {
+			if a[u] < 0 {
+				a[u] = 0
+			}
+			if ev.pin[u] >= 0 {
+				a[u] = ev.pin[u]
+			}
+		}
+		try(a)
+	}
+	// Seed 2: round-robin spread.
+	rr := make([]int, nU)
+	for u := range rr {
+		rr[u] = u % K
+		if ev.pin[u] >= 0 {
+			rr[u] = ev.pin[u]
+		}
+	}
+	try(rr)
+
+	// DIRECT global search over the compact encoding: one continuous
+	// variable per unit in [0, K), floor() gives the machine index.
+	if !opt.SkipDirect {
+		budget := opt.DirectFevals
+		if polish {
+			budget = opt.PolishFevals
+		}
+		lower := make([]float64, nU)
+		upper := make([]float64, nU)
+		for i := range upper {
+			upper[i] = float64(K)
+		}
+		tmp := make([]int, nU)
+		objf := func(x []float64) float64 {
+			for i, v := range x {
+				j := int(v)
+				if j >= K {
+					j = K - 1
+				}
+				if ev.pin[i] >= 0 {
+					j = ev.pin[i]
+				}
+				tmp[i] = j
+			}
+			o, _ := ev.Eval(tmp, K)
+			return o
+		}
+		res, err := direct.Minimize(objf, lower, upper, direct.Options{
+			MaxFevals: budget,
+			Epsilon:   1e-4,
+		})
+		if err == nil {
+			a := make([]int, nU)
+			for i, v := range res.X {
+				j := int(v)
+				if j >= K {
+					j = K - 1
+				}
+				if ev.pin[i] >= 0 {
+					j = ev.pin[i]
+				}
+				a[i] = j
+			}
+			try(a)
+		}
+	}
+
+	bestIdx := 0
+	for i := 1; i < len(cands); i++ {
+		b, c := cands[bestIdx], cands[i]
+		if (c.feas && !b.feas) || (c.feas == b.feas && c.obj < b.obj) {
+			bestIdx = i
+		}
+	}
+	best := cands[bestIdx]
+	return best.assign, best.obj, best.feas
+}
+
+// serverContrib prices one machine: balance term plus resource and
+// anti-affinity penalties for the given member set.
+func (ev *Evaluator) serverContrib(j int, members []int) float64 {
+	sl := ev.serverEval(j, members)
+	c := contribution(sl)
+	for ai, a := range members {
+		for _, b := range members[ai+1:] {
+			if ev.conflicted(a, b) {
+				c += penaltyWeight
+			}
+		}
+	}
+	return c
+}
+
+// hillClimb is deterministic best-improvement local search with single-unit
+// moves — the "polishing" phase of Section 6. Only the two machines touched
+// by a move are re-priced, so a full sweep costs O(U·K·units-per-server·T)
+// rather than O(U²·K·T).
+func (ev *Evaluator) hillClimb(assign []int, K int) ([]int, float64, bool) {
+	cur := append([]int(nil), assign...)
+	members := make([][]int, K)
+	for u, j := range cur {
+		members[j] = append(members[j], u)
+	}
+	contrib := make([]float64, K)
+	for j := 0; j < K; j++ {
+		contrib[j] = ev.serverContrib(j, members[j])
+	}
+
+	without := func(list []int, u int) []int {
+		out := make([]int, 0, len(list)-1)
+		for _, x := range list {
+			if x != u {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+
+	improved := true
+	for rounds := 0; improved && rounds < 100; rounds++ {
+		improved = false
+		for u := 0; u < len(cur); u++ {
+			if ev.pin[u] >= 0 {
+				continue
+			}
+			from := cur[u]
+			fromWithout := without(members[from], u)
+			cFromNew := ev.serverContrib(from, fromWithout)
+			bestJ := from
+			bestDelta := -1e-9 // strict improvement required
+			var bestCTo float64
+			for j := 0; j < K; j++ {
+				if j == from {
+					continue
+				}
+				ev.Fevals++
+				toWith := append(append([]int(nil), members[j]...), u)
+				cToNew := ev.serverContrib(j, toWith)
+				delta := (cFromNew + cToNew) - (contrib[from] + contrib[j])
+				if delta < bestDelta {
+					bestDelta = delta
+					bestJ = j
+					bestCTo = cToNew
+				}
+			}
+			if bestJ != from {
+				members[from] = fromWithout
+				members[bestJ] = append(members[bestJ], u)
+				contrib[from] = cFromNew
+				contrib[bestJ] = bestCTo
+				cur[u] = bestJ
+				improved = true
+			}
+		}
+	}
+	// Canonical final pricing through Eval keeps all callers consistent.
+	obj, feas := ev.Eval(cur, K)
+	return cur, obj, feas
+}

@@ -1,0 +1,532 @@
+package dbms
+
+import (
+	"testing"
+	"time"
+
+	"kairos/internal/disk"
+)
+
+// newTestInstance builds an instance on a fresh 7200 RPM disk.
+func newTestInstance(t *testing.T, mut func(*Config)) *Instance {
+	t.Helper()
+	d, err := disk.New(disk.Server7200SATA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	in, err := NewInstance(cfg, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// drive runs `ticks` ticks of dt with a steady per-tick request.
+func drive(in *Instance, db *Database, ticks int, dt time.Duration, req Request) TickResult {
+	var last TickResult
+	req.DB = db
+	for i := 0; i < ticks; i++ {
+		last = in.Tick(dt, []Request{req})
+	}
+	return last
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	d, _ := disk.New(disk.Server7200SATA())
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero page size", func(c *Config) { c.PageSize = 0 }},
+		{"tiny buffer pool", func(c *Config) { c.BufferPoolBytes = 1 }},
+		{"zero cores", func(c *Config) { c.CPUCores = 0 }},
+		{"zero group commit", func(c *Config) { c.GroupCommitInterval = 0 }},
+		{"bad dirty fraction", func(c *Config) { c.MaxDirtyFraction = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			if _, err := NewInstance(cfg, d, 0); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := NewInstance(DefaultConfig(), nil, 0); err == nil {
+		t.Error("nil disk accepted")
+	}
+}
+
+func TestCreateDropDatabase(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, err := in.CreateDatabase("tpcc", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Name() != "tpcc" || db.DataPages() != 1000 {
+		t.Errorf("unexpected db %q size %d", db.Name(), db.DataPages())
+	}
+	if _, err := in.CreateDatabase("tpcc", 10); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := in.CreateDatabase("neg", -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if got, ok := in.Database("tpcc"); !ok || got != db {
+		t.Error("Database lookup failed")
+	}
+	if len(in.Databases()) != 1 {
+		t.Errorf("Databases() len = %d", len(in.Databases()))
+	}
+	if err := in.DropDatabase("tpcc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DropDatabase("tpcc"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestWorkloadExecutesAndCounts(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, _ := in.CreateDatabase("w", 10000)
+	in.Preload(db, 2000)
+	drive(in, db, 50, 100*time.Millisecond, Request{
+		Txns: 10, Reads: 100, Updates: 20, WorkingSetPages: 2000,
+	})
+	st := db.Stats()
+	if st.Txns != 500 {
+		t.Errorf("Txns = %d, want 500", st.Txns)
+	}
+	if st.Reads != 5000 {
+		t.Errorf("Reads = %d, want 5000", st.Reads)
+	}
+	if st.Updates != 1000 {
+		t.Errorf("Updates = %d, want 1000", st.Updates)
+	}
+	wantLog := int64(1000) * int64(in.cfg.LogRecordBytes)
+	if st.LogBytes != wantLog {
+		t.Errorf("LogBytes = %d, want %d", st.LogBytes, wantLog)
+	}
+}
+
+func TestWarmupMissesThenHits(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, _ := in.CreateDatabase("w", 10000)
+	// Working set of 500 pages fits easily in the pool.
+	drive(in, db, 200, 100*time.Millisecond, Request{Reads: 200, WorkingSetPages: 500})
+	st := db.TakeStats()
+	// After warmup the working set is resident: misses bounded by WS size.
+	if st.BPMisses > 600 {
+		t.Errorf("BPMisses = %d, want ≈500 (one per working-set page)", st.BPMisses)
+	}
+	if st.BPHits < 30000 {
+		t.Errorf("BPHits = %d, want ≫ misses", st.BPHits)
+	}
+	// Steady state: further access is all hits.
+	drive(in, db, 50, 100*time.Millisecond, Request{Reads: 200, WorkingSetPages: 500})
+	st2 := db.TakeStats()
+	if st2.BPMisses != 0 {
+		t.Errorf("steady-state misses = %d, want 0", st2.BPMisses)
+	}
+}
+
+func TestWorkingSetExceedsPoolCausesPhysicalReads(t *testing.T) {
+	in := newTestInstance(t, func(c *Config) {
+		c.BufferPoolBytes = 16 << 20 // 1024 pages
+	})
+	db, _ := in.CreateDatabase("big", 1<<20)
+	// Working set of 10x the pool: most accesses miss and hit the disk.
+	drive(in, db, 100, 100*time.Millisecond, Request{Reads: 50, WorkingSetPages: 10240})
+	st := db.Stats()
+	if st.PhysReads == 0 {
+		t.Fatal("expected physical reads when working set exceeds pool")
+	}
+	if st.MissRatio() < 0.5 {
+		t.Errorf("miss ratio = %v, want > 0.5", st.MissRatio())
+	}
+}
+
+func TestDiskSaturationDefersWork(t *testing.T) {
+	in := newTestInstance(t, func(c *Config) {
+		c.BufferPoolBytes = 16 << 20
+	})
+	db, _ := in.CreateDatabase("thrash", 1<<20)
+	// Demand far beyond what a 7200 RPM disk can serve as random reads.
+	drive(in, db, 100, 100*time.Millisecond, Request{Reads: 2000, WorkingSetPages: 100000})
+	st := db.Stats()
+	if st.DeferredWork == 0 {
+		t.Error("expected deferred work under disk saturation")
+	}
+	// Completed reads must be far fewer than demanded.
+	if st.Reads > 100*2000/2 {
+		t.Errorf("completed %d reads, expected heavy throttling", st.Reads)
+	}
+}
+
+func TestCPUSaturationDefersWork(t *testing.T) {
+	in := newTestInstance(t, func(c *Config) {
+		c.CPUCores = 1
+		c.CoreOpsPerSec = 1e5
+	})
+	db, _ := in.CreateDatabase("hot", 1000)
+	res := drive(in, db, 20, 100*time.Millisecond, Request{
+		Txns: 1000, WorkingSetPages: 100, ExtraCPU: 1e6,
+	})
+	if res.CPUUtilization < 0.95 {
+		t.Errorf("CPU utilization = %v, want ≈1 under overload", res.CPUUtilization)
+	}
+	if db.Stats().DeferredWork == 0 {
+		t.Error("expected deferred work under CPU overload")
+	}
+}
+
+func TestLogBytesLinearInUpdates(t *testing.T) {
+	run := func(updates int) int64 {
+		in := newTestInstance(t, nil)
+		db, _ := in.CreateDatabase("w", 100000)
+		in.Preload(db, 5000)
+		drive(in, db, 100, 100*time.Millisecond, Request{Txns: 5, Updates: updates, WorkingSetPages: 5000})
+		return in.Disk().Stats().LogBytes
+	}
+	l1 := run(20)
+	l2 := run(40)
+	ratio := float64(l2) / float64(l1)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("log bytes should be linear in update rate: ratio = %v", ratio)
+	}
+}
+
+func TestPageWriteBackSubLinear(t *testing.T) {
+	// Doubling the update rate over a fixed working set must less-than-
+	// double the page write-back bytes (updates coalesce on dirty pages).
+	run := func(updates int) int64 {
+		in := newTestInstance(t, nil)
+		db, _ := in.CreateDatabase("w", 100000)
+		in.Preload(db, 4000)
+		drive(in, db, 600, 100*time.Millisecond, Request{Txns: 5, Updates: updates, WorkingSetPages: 4000})
+		return in.Disk().Stats().PageWriteBytes
+	}
+	w1 := run(100)
+	w2 := run(200)
+	if w1 == 0 {
+		t.Fatal("no write-back observed")
+	}
+	ratio := float64(w2) / float64(w1)
+	if ratio >= 1.9 {
+		t.Errorf("page write-back should be sub-linear: 2x rate gave %vx writes", ratio)
+	}
+}
+
+func TestLargerWorkingSetMoreWriteBack(t *testing.T) {
+	// Same update rate over a larger working set touches more distinct
+	// pages, producing more write-back (paper Figure 4's second effect).
+	run := func(ws int64) int64 {
+		in := newTestInstance(t, nil)
+		db, _ := in.CreateDatabase("w", 400000)
+		in.Preload(db, ws)
+		drive(in, db, 600, 100*time.Millisecond, Request{Txns: 5, Updates: 150, WorkingSetPages: ws})
+		return in.Disk().Stats().PageWriteBytes
+	}
+	small := run(2000)
+	large := run(50000)
+	if large <= small {
+		t.Errorf("larger working set should cause more write-back: %d (large) <= %d (small)", large, small)
+	}
+}
+
+func TestGroupCommitCapsFlushes(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, _ := in.CreateDatabase("w", 10000)
+	in.Preload(db, 5000)
+	// 1000 txns per 100 ms tick, but group commit at 10 ms allows at most
+	// 10 flushes per tick.
+	drive(in, db, 10, 100*time.Millisecond, Request{Txns: 1000, Updates: 1000, WorkingSetPages: 5000})
+	flushes := in.Disk().Stats().LogFlushes
+	if flushes > 10*10 {
+		t.Errorf("LogFlushes = %d, want ≤ 100 (group commit)", flushes)
+	}
+	if flushes == 0 {
+		t.Error("expected some flushes")
+	}
+}
+
+func TestIdleFlusherCleansDirtyPages(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, _ := in.CreateDatabase("w", 10000)
+	in.Preload(db, 2000)
+	// Dirty a batch of pages, then go idle.
+	drive(in, db, 10, 100*time.Millisecond, Request{Updates: 200, WorkingSetPages: 2000})
+	if in.DirtyPages() == 0 {
+		t.Fatal("expected dirty pages after updates")
+	}
+	// Idle ticks: flusher should clean everything using spare bandwidth.
+	for i := 0; i < 100; i++ {
+		in.Tick(100*time.Millisecond, nil)
+	}
+	if in.DirtyPages() != 0 {
+		t.Errorf("flusher left %d dirty pages after idling", in.DirtyPages())
+	}
+}
+
+func TestLogPressureBoundsDirtyAgeWithoutDeadlock(t *testing.T) {
+	// A tiny redo log forces constant checkpoint-age pressure. The writer
+	// throttle plus LSN-forced flushing must keep the oldest dirty page
+	// within the log window while still letting updates through (no
+	// deadlock, no unbounded stall).
+	in := newTestInstance(t, func(c *Config) {
+		c.LogFileBytes = 1 << 20 // tiny log: ~4700 row updates fill it
+	})
+	db, _ := in.CreateDatabase("w", 10000)
+	in.Preload(db, 2000)
+	for i := 0; i < 300; i++ {
+		in.Tick(100*time.Millisecond, []Request{{DB: db, Txns: 10, Updates: 200, WorkingSetPages: 2000}})
+	}
+	st := db.Stats()
+	if st.Updates < 10000 {
+		t.Errorf("updates = %d of 60000 demanded; log pressure deadlocked the writer", st.Updates)
+	}
+	// The oldest dirty page must stay within the log window.
+	if oldest, ok := in.bp.OldestDirtyLSN(); ok {
+		if age := in.totalLogBytes - oldest; age > in.cfg.LogFileBytes {
+			t.Errorf("oldest dirty age %d exceeds log capacity %d", age, in.cfg.LogFileBytes)
+		}
+	}
+}
+
+func TestAllocatedRAMGrowsToPoolSize(t *testing.T) {
+	in := newTestInstance(t, func(c *Config) {
+		c.BufferPoolBytes = 64 << 20 // 4096 pages
+	})
+	db, _ := in.CreateDatabase("w", 1<<20)
+	before := in.AllocatedRAMBytes()
+	if before != in.cfg.ProcessRAMBytes {
+		t.Errorf("cold allocated RAM = %d, want process base %d", before, in.cfg.ProcessRAMBytes)
+	}
+	// Touch far more pages than the pool holds: allocation saturates at
+	// process + pool (the OS "sees" the whole pool as active).
+	in.Preload(db, 100000)
+	drive(in, db, 20, 100*time.Millisecond, Request{Reads: 500, WorkingSetPages: 100000})
+	after := in.AllocatedRAMBytes()
+	want := in.cfg.ProcessRAMBytes + in.cfg.BufferPoolBytes
+	if after != want {
+		t.Errorf("warm allocated RAM = %d, want %d", after, want)
+	}
+}
+
+func TestOSCacheAbsorbsMisses(t *testing.T) {
+	// PostgreSQL-style config: small shared buffer + OS file cache. A
+	// working set that overflows the buffer pool but fits in BP+cache
+	// should be served without physical reads once warm.
+	in := newTestInstance(t, func(c *Config) {
+		c.BufferPoolBytes = 16 << 20 // 1024 pages
+		c.OSCacheBytes = 64 << 20    // 4096 pages
+	})
+	db, _ := in.CreateDatabase("pg", 1<<20)
+	drive(in, db, 400, 100*time.Millisecond, Request{Reads: 300, WorkingSetPages: 3000})
+	db.TakeStats()
+	drive(in, db, 100, 100*time.Millisecond, Request{Reads: 300, WorkingSetPages: 3000})
+	st := db.TakeStats()
+	if st.BPMisses == 0 {
+		t.Fatal("expected buffer-pool misses with overflowing working set")
+	}
+	if st.OSCacheHit == 0 {
+		t.Fatal("expected OS cache hits")
+	}
+	missServedByCache := float64(st.OSCacheHit) / float64(st.BPMisses)
+	if missServedByCache < 0.9 {
+		t.Errorf("OS cache absorbed only %.0f%% of misses, want ≥90%%", missServedByCache*100)
+	}
+}
+
+func TestGrowDatabaseAndScanRange(t *testing.T) {
+	in := newTestInstance(t, func(c *Config) {
+		c.BufferPoolBytes = 16 << 20 // 1024 pages
+	})
+	probe, _ := in.CreateDatabase("probe", 0)
+	in.GrowDatabase(probe, 100)
+	if probe.DataPages() != 100 {
+		t.Fatalf("DataPages = %d, want 100", probe.DataPages())
+	}
+	// Fresh probe pages are resident: scanning them causes no reads.
+	if phys := in.ScanRange(probe, 100); phys != 0 {
+		t.Errorf("scan of freshly grown probe caused %d physical reads", phys)
+	}
+	// Grow beyond the pool: the oldest probe pages get evicted and a full
+	// scan must re-read them.
+	in.GrowDatabase(probe, 2000)
+	if phys := in.ScanRange(probe, probe.DataPages()); phys == 0 {
+		t.Error("scan after overflow should cause physical reads")
+	}
+}
+
+func TestProbeStealsFromVictimDB(t *testing.T) {
+	// The gauging mechanism: growing a probe table evicts the victim's
+	// cold pages; if the victim's working set was smaller than the pool,
+	// its physical reads stay ~0 until the probe exceeds the slack.
+	in := newTestInstance(t, func(c *Config) {
+		c.BufferPoolBytes = 64 << 20 // 4096 pages
+	})
+	victim, _ := in.CreateDatabase("victim", 1<<20)
+	probe, _ := in.CreateDatabase("probe", 0)
+	// Victim working set: 1000 pages — 3096 pages of slack.
+	in.Preload(victim, 1000)
+	drive(in, victim, 20, 100*time.Millisecond, Request{Reads: 400, WorkingSetPages: 1000})
+	victim.TakeStats()
+
+	// Steal 2000 pages (less than slack): victim unaffected.
+	in.GrowDatabase(probe, 2000)
+	for i := 0; i < 50; i++ {
+		in.Tick(100*time.Millisecond, []Request{{DB: victim, Reads: 400, WorkingSetPages: 1000}})
+		in.ScanRange(probe, probe.DataPages())
+	}
+	st := victim.TakeStats()
+	if st.PhysReads > 50 {
+		t.Errorf("victim suffered %d physical reads before slack exhausted", st.PhysReads)
+	}
+
+	// Steal past the slack: victim pages start getting evicted.
+	in.GrowDatabase(probe, 1500)
+	for i := 0; i < 50; i++ {
+		in.Tick(100*time.Millisecond, []Request{{DB: victim, Reads: 400, WorkingSetPages: 1000}})
+		in.ScanRange(probe, probe.DataPages())
+	}
+	st = victim.TakeStats()
+	if st.PhysReads < 100 {
+		t.Errorf("victim physical reads = %d, want sharp increase after slack exhausted", st.PhysReads)
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	run := func(txns int) time.Duration {
+		in := newTestInstance(t, func(c *Config) {
+			c.CPUCores = 2
+			c.CoreOpsPerSec = 1e6
+		})
+		db, _ := in.CreateDatabase("w", 10000)
+		in.Preload(db, 1000)
+		res := drive(in, db, 50, 100*time.Millisecond, Request{
+			Txns: txns, Reads: txns, Updates: txns / 4, WorkingSetPages: 1000,
+		})
+		return res.AvgLatency
+	}
+	light := run(50)
+	heavy := run(4000)
+	if heavy <= light {
+		t.Errorf("latency should rise with load: light=%v heavy=%v", light, heavy)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() DBStats {
+		in := newTestInstance(t, nil)
+		db, _ := in.CreateDatabase("w", 100000)
+		drive(in, db, 100, 100*time.Millisecond, Request{
+			Txns: 20, Reads: 300, Updates: 50, WorkingSetPages: 8000,
+		})
+		return db.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTakeStatsWindows(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, _ := in.CreateDatabase("w", 10000)
+	drive(in, db, 10, 100*time.Millisecond, Request{Txns: 5, WorkingSetPages: 100})
+	w1 := db.TakeStats()
+	if w1.Txns != 50 {
+		t.Fatalf("window 1 Txns = %d, want 50", w1.Txns)
+	}
+	drive(in, db, 10, 100*time.Millisecond, Request{Txns: 3, WorkingSetPages: 100})
+	w2 := db.TakeStats()
+	if w2.Txns != 30 {
+		t.Errorf("window 2 Txns = %d, want 30", w2.Txns)
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var s DBStats
+	if s.MissRatio() != 0 {
+		t.Error("empty stats should have zero miss ratio")
+	}
+	s.BPHits, s.BPMisses = 75, 25
+	if got := s.MissRatio(); got != 0.25 {
+		t.Errorf("MissRatio = %v, want 0.25", got)
+	}
+}
+
+func TestXorshiftDeterministicAndBounded(t *testing.T) {
+	a, b := xorshift(42), xorshift(42)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Intn(1000), b.Intn(1000)
+		if va != vb {
+			t.Fatal("same-seed xorshift diverged")
+		}
+		if va < 0 || va >= 1000 {
+			t.Fatalf("Intn out of range: %d", va)
+		}
+	}
+	var z xorshift = 1
+	if z.Intn(0) != 0 || z.Intn(-5) != 0 {
+		t.Error("Intn of non-positive bound should be 0")
+	}
+}
+
+func TestUpdateLocalityReducesUniquePages(t *testing.T) {
+	// Skewed updates coalesce on hot pages: at equal rates, high locality
+	// must produce markedly less page write-back than uniform updates.
+	run := func(locality float64) int64 {
+		in := newTestInstance(t, func(c *Config) { c.BufferPoolBytes = 2 << 30 })
+		db, _ := in.CreateDatabase("w", 200000)
+		in.Preload(db, 100000)
+		for i := 0; i < 900; i++ {
+			in.Tick(100*time.Millisecond, []Request{{
+				DB: db, Updates: 300, WorkingSetPages: 100000, UpdateLocality: locality,
+			}})
+		}
+		return in.Disk().Stats().PageWriteBytes
+	}
+	uniform := run(0)
+	skewed := run(0.9)
+	if uniform == 0 {
+		t.Fatal("no write-back observed")
+	}
+	if float64(skewed) > float64(uniform)*0.7 {
+		t.Errorf("locality should cut write-back: uniform=%d skewed=%d", uniform, skewed)
+	}
+}
+
+func TestDropBacklog(t *testing.T) {
+	in := newTestInstance(t, nil)
+	db, _ := in.CreateDatabase("w", 10000)
+	// Queue far more work than one tick can run.
+	in.Enqueue([]Request{{DB: db, Txns: 1000000, WorkingSetPages: 100}})
+	if in.DemandCPUOps() == 0 {
+		t.Fatal("backlog empty after enqueue")
+	}
+	in.DropBacklog()
+	if in.DemandCPUOps() != 0 {
+		t.Error("DropBacklog left work behind")
+	}
+}
+
+func TestXorshiftFloatRange(t *testing.T) {
+	x := xorshift(7)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		v := x.Float()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float mean = %v, want ≈0.5", mean)
+	}
+}

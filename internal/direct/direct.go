@@ -1,0 +1,270 @@
+// Package direct implements the DIRECT (DIviding RECTangles) global
+// optimization algorithm of Jones, Perttunen and Stuckman — the solver the
+// paper uses (via Tomlab) for its mixed-integer non-linear consolidation
+// program (Section 5: "we employ a general-purpose global optimization
+// algorithm called DIRECT").
+//
+// DIRECT is a deterministic, derivative-free, Lipschitz-inspired method: it
+// normalizes the search box to the unit hypercube, keeps a set of
+// hyper-rectangles with sampled centers, and at each iteration selects the
+// "potentially optimal" rectangles — those on the lower convex hull of the
+// (size, f) scatter — and trisects them along their longest sides. The
+// Epsilon parameter trades global exploration against local refinement,
+// which is exactly the knob Section 6 of the paper tunes after bounding the
+// number of servers.
+package direct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Objective is a function to minimize. The slice must not be retained.
+type Objective func(x []float64) float64
+
+// Options controls the optimizer budget and behaviour.
+type Options struct {
+	// MaxFevals caps objective evaluations (default 5000).
+	MaxFevals int
+	// MaxIters caps DIRECT iterations (default 1000).
+	MaxIters int
+	// Epsilon is the potential-optimality slack: larger values bias the
+	// search toward rectangles that promise global improvement, smaller
+	// values allow more local polishing around the incumbent (default 1e-4).
+	Epsilon float64
+	// Target stops the search early once f ≤ Target (use -Inf to disable;
+	// the zero value disables too when TargetSet is false).
+	Target float64
+	// TargetSet enables Target.
+	TargetSet bool
+}
+
+// Result is the outcome of a minimization.
+type Result struct {
+	// X is the best point found, in original (unnormalized) coordinates.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Fevals is the number of objective evaluations performed.
+	Fevals int
+	// Iters is the number of DIRECT iterations performed.
+	Iters int
+}
+
+// rect is one hyper-rectangle: a center point (normalized coordinates), its
+// objective value, and per-dimension trisection levels (side i has length
+// 3^-levels[i]).
+type rect struct {
+	center []float64
+	f      float64
+	levels []int8
+	// d is the half-diagonal, the rectangle's "size" in the (size, f)
+	// potential-optimality plane.
+	d float64
+}
+
+func (r *rect) computeSize() {
+	var s float64
+	for _, l := range r.levels {
+		side := math.Pow(3, -float64(l))
+		s += side * side / 4
+	}
+	r.d = math.Sqrt(s)
+}
+
+// Minimize runs DIRECT on f over the box [lower, upper].
+func Minimize(f Objective, lower, upper []float64, opt Options) (Result, error) {
+	n := len(lower)
+	if n == 0 || len(upper) != n {
+		return Result{}, fmt.Errorf("direct: bounds must be non-empty and equal length (got %d/%d)",
+			len(lower), len(upper))
+	}
+	for i := range lower {
+		if !(upper[i] > lower[i]) {
+			return Result{}, fmt.Errorf("direct: upper[%d]=%v not greater than lower[%d]=%v",
+				i, upper[i], i, lower[i])
+		}
+	}
+	if f == nil {
+		return Result{}, fmt.Errorf("direct: nil objective")
+	}
+	if opt.MaxFevals <= 0 {
+		opt.MaxFevals = 5000
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 1000
+	}
+	if opt.Epsilon <= 0 {
+		opt.Epsilon = 1e-4
+	}
+
+	// denorm maps unit-cube coordinates to the original box.
+	buf := make([]float64, n)
+	fevals := 0
+	eval := func(x []float64) float64 {
+		for i := range x {
+			buf[i] = lower[i] + x[i]*(upper[i]-lower[i])
+		}
+		fevals++
+		return f(buf)
+	}
+
+	// Seed: the center of the cube.
+	c0 := make([]float64, n)
+	for i := range c0 {
+		c0[i] = 0.5
+	}
+	first := &rect{center: c0, f: eval(c0), levels: make([]int8, n)}
+	first.computeSize()
+	rects := []*rect{first}
+
+	best := first
+	res := Result{Iters: 0}
+
+	done := func() bool {
+		return fevals >= opt.MaxFevals || (opt.TargetSet && best.f <= opt.Target)
+	}
+
+	for it := 0; it < opt.MaxIters && !done(); it++ {
+		res.Iters = it + 1
+		po := potentiallyOptimal(rects, best.f, opt.Epsilon)
+		if len(po) == 0 {
+			break
+		}
+		for _, ri := range po {
+			if done() {
+				break
+			}
+			r := rects[ri]
+			// Longest sides (smallest level).
+			minLevel := r.levels[0]
+			for _, l := range r.levels {
+				if l < minLevel {
+					minLevel = l
+				}
+			}
+			var dims []int
+			for i, l := range r.levels {
+				if l == minLevel {
+					dims = append(dims, i)
+				}
+			}
+			delta := math.Pow(3, -float64(minLevel)) / 3
+
+			// Sample c ± delta·e_i for each longest dimension.
+			type probe struct {
+				dim        int
+				lo, hi     *rect
+				bestOfPair float64
+			}
+			probes := make([]probe, 0, len(dims))
+			for _, dim := range dims {
+				if fevals+2 > opt.MaxFevals {
+					break
+				}
+				mk := func(off float64) *rect {
+					c := append([]float64(nil), r.center...)
+					c[dim] += off
+					nr := &rect{center: c, f: eval(c), levels: append([]int8(nil), r.levels...)}
+					return nr
+				}
+				lo := mk(-delta)
+				hi := mk(+delta)
+				if lo.f < best.f {
+					best = lo
+				}
+				if hi.f < best.f {
+					best = hi
+				}
+				probes = append(probes, probe{dim: dim, lo: lo, hi: hi,
+					bestOfPair: math.Min(lo.f, hi.f)})
+			}
+			// Divide along the probed dimensions, best pair first (the
+			// original DIRECT ordering keeps good regions in big boxes).
+			sort.SliceStable(probes, func(a, b int) bool {
+				return probes[a].bestOfPair < probes[b].bestOfPair
+			})
+			for _, p := range probes {
+				r.levels[p.dim]++
+				p.lo.levels = append([]int8(nil), r.levels...)
+				p.hi.levels = append([]int8(nil), r.levels...)
+				p.lo.computeSize()
+				p.hi.computeSize()
+				rects = append(rects, p.lo, p.hi)
+			}
+			r.computeSize()
+		}
+	}
+
+	res.Fevals = fevals
+	res.F = best.f
+	res.X = make([]float64, n)
+	for i := range res.X {
+		res.X[i] = lower[i] + best.center[i]*(upper[i]-lower[i])
+	}
+	return res, nil
+}
+
+// potentiallyOptimal returns indices of rectangles on the lower-right convex
+// hull of the (size, f) scatter that also promise sufficient improvement
+// over fmin (the epsilon condition).
+func potentiallyOptimal(rects []*rect, fmin, eps float64) []int {
+	// Representative per size class: the rect with minimal f.
+	type classRep struct {
+		d   float64
+		f   float64
+		idx int
+	}
+	byClass := map[int64]classRep{}
+	for i, r := range rects {
+		key := int64(math.Round(r.d * 1e12))
+		rep, ok := byClass[key]
+		if !ok || r.f < rep.f {
+			byClass[key] = classRep{d: r.d, f: r.f, idx: i}
+		}
+	}
+	reps := make([]classRep, 0, len(byClass))
+	for _, rep := range byClass {
+		reps = append(reps, rep)
+	}
+	sort.Slice(reps, func(a, b int) bool {
+		if reps[a].d != reps[b].d {
+			return reps[a].d < reps[b].d
+		}
+		return reps[a].f < reps[b].f
+	})
+
+	// Lower convex hull over (d, f), d ascending.
+	var hull []classRep
+	for _, p := range reps {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Remove b if it lies above segment a→p.
+			if (b.f-a.f)*(p.d-a.d) >= (p.f-a.f)*(b.d-a.d) {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, p)
+	}
+
+	// Epsilon condition: the rectangle must be able to beat
+	// fmin − eps·|fmin| given the hull slope to its right neighbours.
+	threshold := fmin - eps*math.Abs(fmin)
+	var out []int
+	for i, p := range hull {
+		if i == len(hull)-1 {
+			// The largest rectangle is always potentially optimal.
+			out = append(out, p.idx)
+			continue
+		}
+		next := hull[i+1]
+		slope := (next.f - p.f) / (next.d - p.d)
+		if p.f-slope*p.d <= threshold {
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	d, err := New(Server7200SATA())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero write bandwidth", func(p *Params) { p.SeqWriteMBps = 0 }},
+		{"negative read bandwidth", func(p *Params) { p.SeqReadMBps = -1 }},
+		{"zero capacity", func(p *Params) { p.CapacityBytes = 0 }},
+		{"zero cache factor", func(p *Params) { p.CacheWriteFactor = 0 }},
+		{"cache factor above one", func(p *Params) { p.CacheWriteFactor = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Server7200SATA()
+			tc.mut(&p)
+			if _, err := New(p); err == nil {
+				t.Fatalf("New accepted invalid params %+v", p)
+			}
+		})
+	}
+}
+
+func TestSeekTimeMonotonic(t *testing.T) {
+	p := Server7200SATA()
+	prev := time.Duration(-1)
+	for d := 0.0; d <= 1.0; d += 0.05 {
+		s := p.seekTime(d)
+		if s < prev {
+			t.Fatalf("seekTime not monotonic at d=%v: %v < %v", d, s, prev)
+		}
+		prev = s
+	}
+	if got := p.seekTime(0); got != 0 {
+		t.Errorf("seekTime(0) = %v, want 0", got)
+	}
+	if got, want := p.seekTime(2), p.seekTime(1); got != want {
+		t.Errorf("seekTime clamps at 1: got %v want %v", got, want)
+	}
+}
+
+func TestRotationalLatency7200(t *testing.T) {
+	p := Server7200SATA()
+	secPerHalfRev := 60.0 / 7200 / 2
+	want := time.Duration(secPerHalfRev * float64(time.Second)) // ≈4.17ms
+	if got := p.rotationalLatency(); got != want {
+		t.Errorf("rotationalLatency = %v, want %v", got, want)
+	}
+}
+
+func TestReadsCompleteWithinBudget(t *testing.T) {
+	d := newTestDisk(t)
+	d.SubmitRead(10, 16<<10, 0.01)
+	done := d.Tick(time.Second)
+	if done != 10 {
+		t.Fatalf("10 small reads should complete in 1s, got %d", done)
+	}
+	st := d.Stats()
+	if st.ReadOps != 10 {
+		t.Errorf("ReadOps = %d, want 10", st.ReadOps)
+	}
+	if st.ReadBytes != 10*16<<10 {
+		t.Errorf("ReadBytes = %d, want %d", st.ReadBytes, 10*16<<10)
+	}
+}
+
+func TestReadSaturationQueues(t *testing.T) {
+	d := newTestDisk(t)
+	// A random read costs several ms; thousands cannot finish in 100ms.
+	d.SubmitRead(5000, 16<<10, 0.5)
+	done := d.Tick(100 * time.Millisecond)
+	if done >= 5000 {
+		t.Fatalf("expected saturation, but all %d reads completed", done)
+	}
+	if q := d.QueuedReads(); q != 5000-done {
+		t.Errorf("QueuedReads = %d, want %d", q, 5000-done)
+	}
+	// Later ticks drain the queue.
+	total := done
+	for i := 0; i < 1000 && d.QueuedReads() > 0; i++ {
+		total += d.Tick(100 * time.Millisecond)
+	}
+	if total != 5000 {
+		t.Errorf("drained %d reads in total, want 5000", total)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	d := newTestDisk(t)
+	d.SubmitRead(100000, 16<<10, 0.5)
+	d.Tick(time.Second)
+	u := d.Stats().Utilization()
+	if u < 0.95 || u > 1.0 {
+		t.Errorf("saturated utilization = %v, want ≈1", u)
+	}
+
+	d2 := newTestDisk(t)
+	d2.Tick(time.Second)
+	if u := d2.Stats().Utilization(); u != 0 {
+		t.Errorf("idle utilization = %v, want 0", u)
+	}
+}
+
+func TestLogWriteThroughputNearSequential(t *testing.T) {
+	d := newTestDisk(t)
+	// One big log batch with one flush should move at ~sequential speed.
+	const bytes = 10 << 20
+	d.SubmitLog(0, bytes, 1)
+	d.Tick(time.Second)
+	st := d.Stats()
+	if st.LogBytes != bytes {
+		t.Fatalf("LogBytes = %d, want %d", st.LogBytes, bytes)
+	}
+	// 10 MB at 90 MB/s is ~0.11s; busy time must be close to that.
+	if st.BusyTime > 200*time.Millisecond {
+		t.Errorf("BusyTime = %v, want ≲0.2s for a sequential write", st.BusyTime)
+	}
+}
+
+func TestLogStreamSwitchingCostsMore(t *testing.T) {
+	mkDisk := func() *Disk {
+		d, err := New(Server7200SATA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Same bytes and flush count, one stream vs alternating streams.
+	single := mkDisk()
+	for i := 0; i < 100; i++ {
+		single.SubmitLog(0, 64<<10, 1)
+	}
+	single.Tick(10 * time.Second)
+
+	multi := mkDisk()
+	for i := 0; i < 100; i++ {
+		multi.SubmitLog(i%8, 64<<10, 1)
+	}
+	multi.Tick(10 * time.Second)
+
+	sb, mb := single.Stats().BusyTime, multi.Stats().BusyTime
+	if mb <= sb {
+		t.Errorf("interleaved log streams should cost more: single=%v multi=%v", sb, mb)
+	}
+}
+
+func TestElevatorEffect(t *testing.T) {
+	d := newTestDisk(t)
+	span := 0.1
+	// Per-page cost must drop as batch size grows (sorted sweep).
+	t100 := d.writeBackTime(16<<10, 100, span)
+	t10 := d.writeBackTime(16<<10, 10, span)
+	t1 := d.writeBackTime(16<<10, 1, span)
+	if !(t100 < t10 && t10 < t1) {
+		t.Errorf("elevator effect violated: per-page %v (n=100) %v (n=10) %v (n=1)", t100, t10, t1)
+	}
+}
+
+func TestWriteBackUsesOnlySpare(t *testing.T) {
+	d := newTestDisk(t)
+	// Saturate the tick with reads; spare must be smaller than one read's
+	// service time (the discrete model can leave at most a fragment).
+	d.SubmitRead(100000, 16<<10, 0.5)
+	d.Tick(100 * time.Millisecond)
+	if max := d.randomReadTime(16<<10, 0.5); d.Spare() >= max {
+		t.Fatalf("spare %v not smaller than one read (%v)", d.Spare(), max)
+	}
+	spareBefore := d.Spare()
+	busyBefore := d.Stats().BusyTime
+	d.WriteBack(1000, 16<<10, 0.1, false)
+	used := d.Stats().BusyTime - busyBefore
+	if used > spareBefore {
+		t.Errorf("WriteBack used %v, more than the %v spare", used, spareBefore)
+	}
+}
+
+func TestWriteBackForceBorrowsTime(t *testing.T) {
+	d := newTestDisk(t)
+	d.Tick(10 * time.Millisecond)
+	wrote := d.WriteBack(10000, 16<<10, 0.1, true)
+	if wrote == 0 {
+		t.Fatal("forced WriteBack wrote nothing")
+	}
+	if wrote == 10000 {
+		t.Fatal("forced WriteBack should be bounded by the debt cap, wrote all 10000")
+	}
+	// Busy time must exceed elapsed time: we borrowed from the future.
+	st := d.Stats()
+	if st.BusyTime <= st.ElapsedTime {
+		t.Errorf("forced flush should overrun the tick: busy=%v elapsed=%v", st.BusyTime, st.ElapsedTime)
+	}
+	// Debt is repaid over subsequent ticks before new work.
+	d.SubmitRead(1, 16<<10, 0.01)
+	served := 0
+	for i := 0; i < 50 && served == 0; i++ {
+		served += d.Tick(10 * time.Millisecond)
+	}
+	if served != 1 {
+		t.Error("read never served after bounded debt repayment")
+	}
+}
+
+func TestWriteBackPartial(t *testing.T) {
+	d := newTestDisk(t)
+	d.Tick(50 * time.Millisecond) // all spare
+	wrote := d.WriteBack(100000, 16<<10, 0.1, false)
+	if wrote <= 0 || wrote >= 100000 {
+		t.Fatalf("expected a partial write-back, got %d", wrote)
+	}
+	st := d.Stats()
+	if st.PageWriteOps != int64(wrote) {
+		t.Errorf("PageWriteOps = %d, want %d", st.PageWriteOps, wrote)
+	}
+}
+
+func TestSpanFraction(t *testing.T) {
+	d := newTestDisk(t)
+	if got := d.SpanFraction(d.p.CapacityBytes); got != 1 {
+		t.Errorf("full capacity span = %v, want 1", got)
+	}
+	if got := d.SpanFraction(2 * d.p.CapacityBytes); got != 1 {
+		t.Errorf("over capacity span = %v, want clamped to 1", got)
+	}
+	if got := d.SpanFraction(-5); got != 0 {
+		t.Errorf("negative span = %v, want 0", got)
+	}
+	half := d.SpanFraction(d.p.CapacityBytes / 2)
+	if math.Abs(half-0.5) > 1e-9 {
+		t.Errorf("half capacity span = %v, want 0.5", half)
+	}
+}
+
+func TestTakeStatsWindows(t *testing.T) {
+	d := newTestDisk(t)
+	d.SubmitRead(5, 16<<10, 0.01)
+	d.Tick(time.Second)
+	w1 := d.TakeStats()
+	if w1.ReadOps != 5 {
+		t.Fatalf("window 1 ReadOps = %d, want 5", w1.ReadOps)
+	}
+	d.SubmitRead(3, 16<<10, 0.01)
+	d.Tick(time.Second)
+	w2 := d.TakeStats()
+	if w2.ReadOps != 3 {
+		t.Errorf("window 2 ReadOps = %d, want 3", w2.ReadOps)
+	}
+	if w2.ElapsedTime != time.Second {
+		t.Errorf("window 2 ElapsedTime = %v, want 1s", w2.ElapsedTime)
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{
+		ReadOps: 10, ReadBytes: 100, LogBytes: 200, PageWriteBytes: 300,
+		BusyTime: 500 * time.Millisecond, ElapsedTime: time.Second,
+	}
+	if got := s.WriteBytes(); got != 500 {
+		t.Errorf("WriteBytes = %d, want 500", got)
+	}
+	if got := s.TotalBytes(); got != 600 {
+		t.Errorf("TotalBytes = %d, want 600", got)
+	}
+	if got := s.Utilization(); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := s.ReadPagesPerSec(); got != 10 {
+		t.Errorf("ReadPagesPerSec = %v, want 10", got)
+	}
+	if got := s.WriteMBps(); math.Abs(got-500.0/1e6) > 1e-12 {
+		t.Errorf("WriteMBps = %v", got)
+	}
+}
+
+// Property: for any workload mix the disk conserves work — bytes accounted
+// in stats equal bytes submitted and completed, and busy never exceeds
+// elapsed time unless a forced flush borrowed time.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(reads uint8, logKB uint8, ticks uint8) bool {
+		d, err := New(Server7200SATA())
+		if err != nil {
+			return false
+		}
+		n := int(reads)
+		d.SubmitRead(n, 16<<10, 0.2)
+		d.SubmitLog(0, int64(logKB)<<10, 1)
+		totalDone := 0
+		for i := 0; i < int(ticks)+50; i++ {
+			totalDone += d.Tick(100 * time.Millisecond)
+		}
+		st := d.Stats()
+		if totalDone != n || st.ReadOps != int64(n) {
+			return false
+		}
+		if st.LogBytes != int64(logKB)<<10 && logKB > 0 {
+			return false
+		}
+		return st.BusyTime <= st.ElapsedTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: utilization is always within [0, 1] under non-forced operation.
+func TestPropertyUtilizationRange(t *testing.T) {
+	f := func(reads uint16, span uint8) bool {
+		d, err := New(Server7200SATA())
+		if err != nil {
+			return false
+		}
+		s := float64(span) / 255
+		d.SubmitRead(int(reads), 16<<10, s)
+		d.Tick(time.Second)
+		d.WriteBack(int(reads), 16<<10, s, false)
+		u := d.Stats().Utilization()
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueuedLogBatchesFor(t *testing.T) {
+	d := newTestDisk(t)
+	d.SubmitLog(1, 1024, 1)
+	d.SubmitLog(2, 1024, 1)
+	d.SubmitLog(1, 1024, 1)
+	if got := d.QueuedLogBatchesFor(1); got != 2 {
+		t.Errorf("stream 1 queue = %d, want 2", got)
+	}
+	if got := d.QueuedLogBatchesFor(2); got != 1 {
+		t.Errorf("stream 2 queue = %d, want 1", got)
+	}
+	if got := d.QueuedLogBatchesFor(9); got != 0 {
+		t.Errorf("stream 9 queue = %d, want 0", got)
+	}
+	d.Tick(time.Second)
+	if got := d.QueuedLogBatches(); got != 0 {
+		t.Errorf("after service, queue = %d, want 0", got)
+	}
+}
+
+func TestBatchDiscountMonotone(t *testing.T) {
+	prev := batchDiscount(1)
+	if prev != 1 {
+		t.Errorf("batchDiscount(1) = %v, want 1", prev)
+	}
+	for n := 2; n <= 4096; n *= 2 {
+		d := batchDiscount(n)
+		if d >= prev || d <= 0 {
+			t.Errorf("batchDiscount(%d) = %v, not decreasing from %v", n, d, prev)
+		}
+		prev = d
+	}
+}

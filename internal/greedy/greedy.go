@@ -1,0 +1,120 @@
+// Package greedy implements the single-resource greedy bin-packing baseline
+// the paper compares Kairos against (Section 7.3): "This algorithm considers
+// only a single resource, and places each workload in the most loaded server
+// where it will fit using a first-fit bin packer. We then discard final
+// solutions that violate the constraints on the other resources. We repeat
+// this packing once for each resource, then take the solution that requires
+// the fewest servers."
+//
+// The same packer doubles as the cheap upper bound for the consolidation
+// engine's binary search on the server count (Section 6).
+package greedy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FitsFunc reports whether `item` can join the items already placed in a
+// bin without violating any constraint. Implementations close over the full
+// multi-resource feasibility check.
+type FitsFunc func(bin []int, item int) bool
+
+// Pack assigns items to bins most-loaded-first: items are sorted by
+// descending load, and each item goes to the fullest bin that accepts it,
+// opening a new bin only when no existing bin fits. It returns the bins
+// (each a list of item indices) and whether packing succeeded within
+// maxBins. maxBins ≤ 0 means unlimited.
+func Pack(loads []float64, fits FitsFunc, maxBins int) ([][]int, bool, error) {
+	if fits == nil {
+		return nil, false, fmt.Errorf("greedy: nil fits function")
+	}
+	n := len(loads)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Decreasing load; ties broken by index for determinism.
+	sort.SliceStable(order, func(a, b int) bool {
+		return loads[order[a]] > loads[order[b]]
+	})
+
+	var bins [][]int
+	binLoad := []float64{}
+	for _, item := range order {
+		// Try bins from most to least loaded.
+		binOrder := make([]int, len(bins))
+		for i := range binOrder {
+			binOrder[i] = i
+		}
+		sort.SliceStable(binOrder, func(a, b int) bool {
+			return binLoad[binOrder[a]] > binLoad[binOrder[b]]
+		})
+		placed := false
+		for _, b := range binOrder {
+			if fits(bins[b], item) {
+				bins[b] = append(bins[b], item)
+				binLoad[b] += loads[item]
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if maxBins > 0 && len(bins) >= maxBins {
+				return nil, false, nil
+			}
+			if !fits(nil, item) {
+				// The item does not fit even on an empty bin.
+				return nil, false, nil
+			}
+			bins = append(bins, []int{item})
+			binLoad = append(binLoad, loads[item])
+		}
+	}
+	return bins, true, nil
+}
+
+// MultiResource runs Pack once per resource dimension (each row of loads is
+// one resource's per-item scalar load) and returns the feasible solution
+// with the fewest bins, as the paper's greedy baseline does. It returns
+// ok=false if no single-resource ordering produces a feasible packing.
+func MultiResource(loads [][]float64, fits FitsFunc, maxBins int) ([][]int, bool, error) {
+	if len(loads) == 0 {
+		return nil, false, fmt.Errorf("greedy: no resource dimensions")
+	}
+	n := len(loads[0])
+	for r, row := range loads {
+		if len(row) != n {
+			return nil, false, fmt.Errorf("greedy: resource %d has %d items, want %d", r, len(row), n)
+		}
+	}
+	var best [][]int
+	found := false
+	for _, row := range loads {
+		bins, ok, err := Pack(row, fits, maxBins)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok && (!found || len(bins) < len(best)) {
+			best = bins
+			found = true
+		}
+	}
+	return best, found, nil
+}
+
+// Assignment flattens bins into an item → bin index mapping.
+func Assignment(bins [][]int, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for b, items := range bins {
+		for _, it := range items {
+			if it >= 0 && it < n {
+				out[it] = b
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"kairos/internal/dbms"
+	"kairos/internal/workload"
+)
+
+// GaugeConfig tunes buffer-pool gauging (paper Figure 3 and Section 3.1).
+type GaugeConfig struct {
+	// ProbeTable is the name of the probe database created in the DBMS.
+	ProbeTable string
+	// InitialGrowPages is the first insertion batch (the pseudocode's
+	// INITIAL_SCAN_ROWS, in pages since our probe tuples fill a page each).
+	InitialGrowPages int64
+	// MaxStealFraction stops probing after stealing this share of the
+	// DBMS-accessible memory even if no read increase was seen.
+	MaxStealFraction float64
+	// Window is the observation period between growth steps over which the
+	// physical read rate is averaged (the paper uses ~10 s).
+	Window time.Duration
+	// ScansPerWindow is how often the probe table is re-scanned per window
+	// to keep its pages hot (the pseudocode's SCANS_PER_INSERT /
+	// READ_WAIT_SECONDS balance).
+	ScansPerWindow int
+	// ReadIncreaseThreshold is the rise in physical reads/sec over the
+	// baseline that counts as "we are evicting useful pages".
+	ReadIncreaseThreshold float64
+	// Tick is the simulation step.
+	Tick time.Duration
+}
+
+// DefaultGaugeConfig returns the parameters used in the paper's experiments.
+func DefaultGaugeConfig() GaugeConfig {
+	return GaugeConfig{
+		ProbeTable:            "kairos_probe",
+		InitialGrowPages:      256, // 4 MB of 16 KiB pages
+		MaxStealFraction:      0.95,
+		Window:                10 * time.Second,
+		ScansPerWindow:        5,
+		ReadIncreaseThreshold: 20,
+		Tick:                  100 * time.Millisecond,
+	}
+}
+
+// GaugePoint is one step of the gauging curve: the probe size reached and
+// the physical read rate observed at that size — the data behind Figure 2.
+type GaugePoint struct {
+	StolenBytes     int64
+	ReadsPerSec     float64
+	GrowPagesPerSec float64
+}
+
+// GaugeResult is the outcome of a gauging run.
+type GaugeResult struct {
+	// WorkingSetBytes is the estimated working set: accessible memory minus
+	// what was stolen without a read increase.
+	WorkingSetBytes int64
+	// StolenBytes is the probe size when the increase was detected.
+	StolenBytes int64
+	// AccessibleBytes is the memory the DBMS could use (pool + OS cache).
+	AccessibleBytes int64
+	// Detected reports whether a read increase was actually observed; if
+	// false the probe hit MaxStealFraction and WorkingSetBytes is an upper
+	// bound estimate.
+	Detected bool
+	// Elapsed is the simulated time the gauging took.
+	Elapsed time.Duration
+	// Curve is the full probe-size → read-rate trace (Figure 2).
+	Curve []GaugePoint
+}
+
+// SavingsFactor returns how much smaller the gauged working set is than the
+// OS-reported allocation — the paper reports 2.8× for TPC-C and up to 7.2×
+// for Wikipedia.
+func (r GaugeResult) SavingsFactor(allocatedBytes int64) float64 {
+	if r.WorkingSetBytes <= 0 {
+		return 0
+	}
+	return float64(allocatedBytes) / float64(r.WorkingSetBytes)
+}
+
+// Gauge measures the working set of the databases on an instance by growing
+// a probe table and watching for an increase in physical reads, while the
+// real workloads keep running. It implements the paper's adaptive strategy:
+// accelerate probe growth while reads are flat, slow down on any increase.
+func Gauge(in *dbms.Instance, gens []*workload.Generator, cfg GaugeConfig) (GaugeResult, error) {
+	if in == nil {
+		return GaugeResult{}, fmt.Errorf("monitor: nil instance")
+	}
+	if cfg.ProbeTable == "" {
+		return GaugeResult{}, fmt.Errorf("monitor: empty probe table name")
+	}
+	if cfg.Window < cfg.Tick {
+		return GaugeResult{}, fmt.Errorf("monitor: window %v shorter than tick %v", cfg.Window, cfg.Tick)
+	}
+	pageSize := int64(in.Config().PageSize)
+	accessible := in.Config().BufferPoolBytes + in.Config().OSCacheBytes
+	maxSteal := int64(float64(accessible) * cfg.MaxStealFraction / float64(pageSize))
+
+	// Reuse an existing probe table if gauging ran before.
+	probe, ok := in.Database(cfg.ProbeTable)
+	if !ok {
+		var err error
+		probe, err = in.CreateDatabase(cfg.ProbeTable, 0)
+		if err != nil {
+			return GaugeResult{}, err
+		}
+	}
+
+	res := GaugeResult{AccessibleBytes: accessible}
+	ticksPerWindow := int(cfg.Window / cfg.Tick)
+	scanEvery := ticksPerWindow
+	if cfg.ScansPerWindow > 0 {
+		scanEvery = ticksPerWindow / cfg.ScansPerWindow
+		if scanEvery < 1 {
+			scanEvery = 1
+		}
+	}
+
+	// runWindow drives the user workloads (and probe scans) for one window
+	// and returns the DBMS-wide physical read rate. The probe's own re-reads
+	// count too: the paper's detector watches "the number of pages the DBMS
+	// reads back from disk" — once slack is exhausted, evictions surface as
+	// re-reads no matter whether a user query or the probe scan triggers
+	// them.
+	runWindow := func() float64 {
+		probe.TakeStats()
+		for _, g := range gens {
+			g.DB().TakeStats()
+		}
+		for t := 0; t < ticksPerWindow; t++ {
+			reqs := make([]dbms.Request, 0, len(gens))
+			for _, g := range gens {
+				reqs = append(reqs, g.Next(cfg.Tick))
+			}
+			in.Tick(cfg.Tick, reqs)
+			if t%scanEvery == 0 && probe.DataPages() > 0 {
+				in.ScanRange(probe, probe.DataPages())
+			}
+			res.Elapsed += cfg.Tick
+		}
+		reads := probe.TakeStats().PhysReads
+		for _, g := range gens {
+			reads += g.DB().TakeStats().PhysReads
+		}
+		return float64(reads) / cfg.Window.Seconds()
+	}
+
+	// Baseline read rate before stealing anything.
+	baseline := runWindow()
+
+	grow := cfg.InitialGrowPages
+	if grow < 1 {
+		grow = 1
+	}
+	for probe.DataPages() < maxSteal {
+		// Grow the probe and keep it hot for a window.
+		step := grow
+		if probe.DataPages()+step > maxSteal {
+			step = maxSteal - probe.DataPages()
+		}
+		in.GrowDatabase(probe, step)
+		rate := runWindow()
+
+		stolen := probe.DataPages() * pageSize
+		res.Curve = append(res.Curve, GaugePoint{
+			StolenBytes:     stolen,
+			ReadsPerSec:     rate,
+			GrowPagesPerSec: float64(step) / cfg.Window.Seconds(),
+		})
+
+		if rate-baseline > cfg.ReadIncreaseThreshold {
+			// We are evicting useful pages: stop immediately and report.
+			res.Detected = true
+			res.StolenBytes = stolen
+			res.WorkingSetBytes = accessible - (stolen - step*pageSize)
+			return res, nil
+		}
+		if rate-baseline > cfg.ReadIncreaseThreshold/4 {
+			// Small increase: slow down (the paper slows to tens of KB/s).
+			grow /= 2
+			if grow < 16 {
+				grow = 16
+			}
+		} else {
+			// Flat: accelerate (the paper reaches several MB/s).
+			grow = grow * 3 / 2
+		}
+	}
+	// Never detected an increase: the working set is at most what we left.
+	res.StolenBytes = probe.DataPages() * pageSize
+	res.WorkingSetBytes = accessible - res.StolenBytes
+	return res, nil
+}

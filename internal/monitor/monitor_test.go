@@ -1,0 +1,368 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kairos/internal/dbms"
+	"kairos/internal/disk"
+	"kairos/internal/workload"
+)
+
+func newInstance(t *testing.T, mut func(*dbms.Config)) *dbms.Instance {
+	t.Helper()
+	d, err := disk.New(disk.Server7200SATA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dbms.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	in, err := dbms.NewInstance(cfg, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	in := newInstance(t, nil)
+	if _, err := NewCollector(nil, nil); err == nil {
+		t.Error("nil instance accepted")
+	}
+	if _, err := NewCollector(in, nil); err == nil {
+		t.Error("no generators accepted")
+	}
+	if _, err := NewCollector(in, []*workload.Generator{nil}); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestCollectProducesProfiles(t *testing.T) {
+	in := newInstance(t, nil)
+	specA := workload.Spec{Name: "a", DataPages: 20000, WorkingSetPages: 2000,
+		TPS: 50, ReadsPerTxn: 4, UpdatesPerTxn: 2}
+	specB := workload.Spec{Name: "b", DataPages: 20000, WorkingSetPages: 1000,
+		TPS: 100, ReadsPerTxn: 2, UpdatesPerTxn: 1}
+	ga, err := workload.Provision(in, specA, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := workload.Provision(in, specB, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(in, []*workload.Generator{ga, gb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDB, inst, err := c.Collect(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perDB) != 2 {
+		t.Fatalf("expected 2 profiles, got %d", len(perDB))
+	}
+	pa, pb := perDB["a"], perDB["b"]
+	if pa == nil || pb == nil {
+		t.Fatal("missing profiles")
+	}
+	if pa.CPU.Len() != 10 {
+		t.Errorf("CPU samples = %d, want 10", pa.CPU.Len())
+	}
+	// Both workloads update rows, so both should show updates and CPU.
+	if pa.RowUpdatesPerSec.Mean() <= 0 || pb.RowUpdatesPerSec.Mean() <= 0 {
+		t.Error("update rates should be positive")
+	}
+	wantA := specA.TPS * specA.UpdatesPerTxn
+	if got := pa.RowUpdatesPerSec.Mean(); math.Abs(got-wantA) > wantA*0.1 {
+		t.Errorf("workload a update rate = %v, want ≈%v", got, wantA)
+	}
+	if pa.CPU.Mean() <= 0 {
+		t.Error("CPU should be positive")
+	}
+	// Instance profile aggregates the workloads.
+	sumUpd := pa.RowUpdatesPerSec.Mean() + pb.RowUpdatesPerSec.Mean()
+	if got := inst.RowUpdatesPerSec.Mean(); math.Abs(got-sumUpd) > 1e-9 {
+		t.Errorf("instance update rate = %v, want %v", got, sumUpd)
+	}
+	// Working sets are reported from the specs.
+	if got := pa.WorkingSetBytes.Mean(); got != float64(specA.WorkingSetBytes()) {
+		t.Errorf("working set = %v, want %v", got, specA.WorkingSetBytes())
+	}
+	// Disk writes include log traffic: must be positive.
+	if inst.DiskWriteBps.Mean() <= 0 {
+		t.Error("instance disk writes should be positive")
+	}
+}
+
+func TestCollectValidatesDuration(t *testing.T) {
+	in := newInstance(t, nil)
+	g, err := workload.Provision(in, workload.TPCC(1, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCollector(in, []*workload.Generator{g})
+	if _, _, err := c.Collect(100 * time.Millisecond); err == nil {
+		t.Error("sub-interval duration accepted")
+	}
+	c.Interval = 50 * time.Millisecond // shorter than tick
+	if _, _, err := c.Collect(time.Second); err == nil {
+		t.Error("interval < tick accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		miss, reads float64
+		want        ProvisioningCase
+	}{
+		{0.001, 0, FitsInBufferPool},
+		{0.0, 100, FitsInBufferPool}, // miss ratio dominates
+		{0.3, 2, FitsInOSCache},
+		{0.3, 500, ExceedsMemory},
+		{0.9, 1000, ExceedsMemory},
+	}
+	for i, tc := range cases {
+		if got := Classify(tc.miss, tc.reads); got != tc.want {
+			t.Errorf("case %d: Classify(%v, %v) = %v, want %v", i, tc.miss, tc.reads, got, tc.want)
+		}
+	}
+	// Stringer coverage.
+	for _, p := range []ProvisioningCase{FitsInBufferPool, FitsInOSCache, ExceedsMemory, ProvisioningCase(9)} {
+		if p.String() == "" {
+			t.Error("empty case name")
+		}
+	}
+}
+
+// gaugeSetup builds an instance with a known working set well below the
+// buffer pool, so gauging has slack to discover.
+func gaugeSetup(t *testing.T, poolMB, wsPages int64, osCacheMB int64) (*dbms.Instance, []*workload.Generator) {
+	t.Helper()
+	in := newInstance(t, func(c *dbms.Config) {
+		c.BufferPoolBytes = poolMB << 20
+		c.OSCacheBytes = osCacheMB << 20
+	})
+	spec := workload.Spec{Name: "user", DataPages: 1 << 20, WorkingSetPages: wsPages,
+		TPS: 100, ReadsPerTxn: 5, UpdatesPerTxn: 0}
+	g, err := workload.Provision(in, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, []*workload.Generator{g}
+}
+
+func TestGaugeValidation(t *testing.T) {
+	in, gens := gaugeSetup(t, 64, 1000, 0)
+	if _, err := Gauge(nil, gens, DefaultGaugeConfig()); err == nil {
+		t.Error("nil instance accepted")
+	}
+	cfg := DefaultGaugeConfig()
+	cfg.ProbeTable = ""
+	if _, err := Gauge(in, gens, cfg); err == nil {
+		t.Error("empty probe name accepted")
+	}
+	cfg = DefaultGaugeConfig()
+	cfg.Window = time.Millisecond
+	if _, err := Gauge(in, gens, cfg); err == nil {
+		t.Error("window < tick accepted")
+	}
+}
+
+func TestGaugeDetectsWorkingSet(t *testing.T) {
+	// Pool of 64 MB (4096 pages); true working set 1000 pages (≈15.6 MB).
+	// Gauging should detect a working set within 2x of the truth, far below
+	// the full pool.
+	in, gens := gaugeSetup(t, 64, 1000, 0)
+	cfg := DefaultGaugeConfig()
+	cfg.Window = 2 * time.Second
+	res, err := Gauge(in, gens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatalf("gauging did not detect the working set; curve: %+v", res.Curve)
+	}
+	trueWS := int64(1000 * 16 << 10)
+	if res.WorkingSetBytes < trueWS {
+		t.Errorf("gauged WS %d below true WS %d", res.WorkingSetBytes, trueWS)
+	}
+	if res.WorkingSetBytes > 3*trueWS {
+		t.Errorf("gauged WS %d more than 3x true WS %d", res.WorkingSetBytes, trueWS)
+	}
+	// The probe stole most of the slack before detection.
+	slack := int64(64<<20) - trueWS
+	if res.StolenBytes < slack/2 {
+		t.Errorf("probe stole only %d of %d slack", res.StolenBytes, slack)
+	}
+	if res.Elapsed <= 0 || len(res.Curve) == 0 {
+		t.Error("missing gauging telemetry")
+	}
+}
+
+func TestGaugeCurveFlatThenRises(t *testing.T) {
+	// The Figure 2 shape: reads stay ≈0 while stealing slack, then rise.
+	in, gens := gaugeSetup(t, 64, 1500, 0)
+	cfg := DefaultGaugeConfig()
+	cfg.Window = 2 * time.Second
+	res, err := Gauge(in, gens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) < 2 {
+		t.Fatalf("curve too short: %d points", len(res.Curve))
+	}
+	first := res.Curve[0]
+	last := res.Curve[len(res.Curve)-1]
+	if first.ReadsPerSec > 20 {
+		t.Errorf("early probe already caused %v reads/sec", first.ReadsPerSec)
+	}
+	if res.Detected && last.ReadsPerSec <= first.ReadsPerSec {
+		t.Errorf("detection without read increase: first=%v last=%v", first.ReadsPerSec, last.ReadsPerSec)
+	}
+}
+
+func TestGaugeWithOSCache(t *testing.T) {
+	// PostgreSQL-style: 32 MB shared buffer + 32 MB OS cache. Accessible
+	// memory is the sum; gauging must steal through both levels.
+	in, gens := gaugeSetup(t, 32, 1000, 32)
+	cfg := DefaultGaugeConfig()
+	cfg.Window = 2 * time.Second
+	res, err := Gauge(in, gens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccessibleBytes != 64<<20 {
+		t.Errorf("accessible = %d, want 64 MB", res.AccessibleBytes)
+	}
+	if !res.Detected {
+		t.Fatal("gauging did not detect the working set through the OS cache")
+	}
+	trueWS := int64(1000 * 16 << 10)
+	if res.WorkingSetBytes < trueWS || res.WorkingSetBytes > 3*trueWS {
+		t.Errorf("gauged WS %d not within [1x,3x] of true %d", res.WorkingSetBytes, trueWS)
+	}
+}
+
+func TestGaugeStopsAtMaxStealWhenIdle(t *testing.T) {
+	// A database with a tiny working set and zero read traffic gives the
+	// prober no signal; it must stop at MaxStealFraction with Detected=false.
+	in := newInstance(t, func(c *dbms.Config) {
+		c.BufferPoolBytes = 32 << 20
+	})
+	spec := workload.Spec{Name: "idle", DataPages: 1000, WorkingSetPages: 10, TPS: 0}
+	g, err := workload.Provision(in, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGaugeConfig()
+	cfg.Window = time.Second
+	res, err := Gauge(in, []*workload.Generator{g}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("idle database should not trigger detection")
+	}
+	poolBytes := int64(32) << 20
+	if res.StolenBytes < poolBytes*9/10 {
+		t.Errorf("probe should reach max steal, stole %d", res.StolenBytes)
+	}
+	if res.WorkingSetBytes <= 0 {
+		t.Errorf("upper-bound WS estimate should be positive, got %d", res.WorkingSetBytes)
+	}
+}
+
+func TestGaugeReusesProbeTable(t *testing.T) {
+	in, gens := gaugeSetup(t, 64, 500, 0)
+	cfg := DefaultGaugeConfig()
+	cfg.Window = time.Second
+	if _, err := Gauge(in, gens, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Second run must not fail on CreateDatabase (probe table exists).
+	if _, err := Gauge(in, gens, cfg); err != nil {
+		t.Fatalf("second gauge run failed: %v", err)
+	}
+}
+
+func TestGaugeSavingsFactor(t *testing.T) {
+	r := GaugeResult{WorkingSetBytes: 100}
+	if got := r.SavingsFactor(280); math.Abs(got-2.8) > 1e-9 {
+		t.Errorf("SavingsFactor = %v, want 2.8", got)
+	}
+	r.WorkingSetBytes = 0
+	if got := r.SavingsFactor(280); got != 0 {
+		t.Errorf("SavingsFactor with zero WS = %v, want 0", got)
+	}
+}
+
+func TestGaugeOverheadSmall(t *testing.T) {
+	// Table 2's claim: gauging keeps throughput within ~5% and latency
+	// within a few ms. Run the same workload with and without gauging and
+	// compare completed transactions.
+	run := func(gauge bool) int64 {
+		in, gens := gaugeSetup(t, 64, 1000, 0)
+		if gauge {
+			cfg := DefaultGaugeConfig()
+			cfg.Window = 2 * time.Second
+			if _, err := Gauge(in, gens, cfg); err != nil {
+				t.Fatal(err)
+			}
+			return gens[0].DB().Stats().Txns
+		}
+		// Drive the same simulated duration without the probe: use the
+		// duration a gauging run takes on this setup (measured separately);
+		// 30 s is comfortably more than the gauge run, so compare rates.
+		for i := 0; i < 300; i++ {
+			in.Tick(100*time.Millisecond, []dbms.Request{gens[0].Next(100 * time.Millisecond)})
+		}
+		return gens[0].DB().Stats().Txns
+	}
+	withGauge := run(true)
+	if withGauge == 0 {
+		t.Fatal("no transactions completed during gauging")
+	}
+	// Rate with gauging must stay within 10% of the demanded 100 tps.
+	// (The gauge run's elapsed time varies; compare achieved rate.)
+	in, gens := gaugeSetup(t, 64, 1000, 0)
+	cfg := DefaultGaugeConfig()
+	cfg.Window = 2 * time.Second
+	res, err := Gauge(in, gens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(gens[0].DB().Stats().Txns) / res.Elapsed.Seconds()
+	if rate < 90 {
+		t.Errorf("throughput during gauging = %.1f tps, want ≥90 (≤10%% impact)", rate)
+	}
+}
+
+func TestCollectorCPUIncludesBaseOverhead(t *testing.T) {
+	// The monitor reports OS-level utilization: workload CPU plus a share
+	// of the instance's base overhead. An idle workload on a dedicated
+	// server must therefore report ≈ BaseCPUFraction, which is exactly
+	// what the combined-load estimator's correction later subtracts.
+	in := newInstance(t, nil)
+	spec := workload.Spec{Name: "idle", DataPages: 1000, WorkingSetPages: 100, TPS: 0}
+	g, err := workload.Provision(in, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(in, []*workload.Generator{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDB, _, err := c.Collect(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := perDB["idle"].CPU.Mean()
+	want := in.Config().BaseCPUFraction
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("idle workload CPU = %v, want base overhead %v", got, want)
+	}
+}

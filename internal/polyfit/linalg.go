@@ -1,0 +1,154 @@
+// Package polyfit provides the numerical fitting machinery behind the Kairos
+// disk model: dense least squares via Householder QR, 1-D and 2-D polynomial
+// bases, and iteratively-reweighted least squares (IRLS) for the
+// Least-Absolute-Residuals (LAR) fits the paper uses for its disk profile
+// (Section 4.1, Figure 4).
+package polyfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular indicates a rank-deficient design matrix.
+var ErrSingular = errors.New("polyfit: singular or rank-deficient system")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("polyfit: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// MulVec returns m·x for a vector x of length Cols.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("polyfit: MulVec dimension %d != cols %d", len(x), m.Cols)
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var sum float64
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		out[r] = sum
+	}
+	return out, nil
+}
+
+// SolveLeastSquares solves min_x ‖A·x − b‖₂ by Householder QR with column
+// norm checks. A must have Rows ≥ Cols; it returns ErrSingular when the
+// effective rank is below Cols.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("polyfit: rows %d != len(b) %d", a.Rows, len(b))
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("polyfit: underdetermined system %dx%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	r := a.Clone()
+	qtb := append([]float64(nil), b...)
+
+	// Householder QR: for each column k, reflect so that below-diagonal
+	// entries vanish, applying the same reflection to qtb.
+	for k := 0; k < n; k++ {
+		// Compute the norm of the column below (and including) the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := r.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			return nil, ErrSingular
+		}
+		// Give norm the sign of the pivot so that u₁ = x₁/norm + 1 ≥ 1,
+		// avoiding cancellation; the resulting R diagonal is −norm.
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		// u = x/norm with u₁ += 1, stored in place of the column.
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+		// Apply the reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		// Apply the reflector to qtb.
+		var s float64
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * qtb[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			qtb[i] += s * r.At(i, k)
+		}
+		r.Set(k, k, -norm)
+	}
+
+	// Back substitution on the upper triangle.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := qtb[i]
+		for j := i + 1; j < n; j++ {
+			sum -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// SolveWeightedLeastSquares solves min_x ‖W^{1/2}(A·x − b)‖₂ for non-negative
+// weights w (len Rows). Rows with zero weight are effectively dropped.
+func SolveWeightedLeastSquares(a *Matrix, b, w []float64) ([]float64, error) {
+	if len(w) != a.Rows || len(b) != a.Rows {
+		return nil, fmt.Errorf("polyfit: weighted solve shape mismatch")
+	}
+	wa := NewMatrix(a.Rows, a.Cols)
+	wb := make([]float64, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		if w[r] < 0 {
+			return nil, fmt.Errorf("polyfit: negative weight at row %d", r)
+		}
+		sw := math.Sqrt(w[r])
+		for c := 0; c < a.Cols; c++ {
+			wa.Set(r, c, sw*a.At(r, c))
+		}
+		wb[r] = sw * b[r]
+	}
+	return SolveLeastSquares(wa, wb)
+}

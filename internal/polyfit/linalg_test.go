@@ -1,0 +1,160 @@
+package polyfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(-1, 2) should panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("MulVec dimension mismatch should error")
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Solve a square, well-conditioned system exactly.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveLeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 with noise-free redundant observations.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2*x + 1
+	}
+	sol, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol[0]-1) > 1e-9 || math.Abs(sol[1]-2) > 1e-9 {
+		t.Errorf("fit = %v, want [1 2]", sol)
+	}
+}
+
+func TestSolveLeastSquaresErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := SolveLeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("underdetermined system should error")
+	}
+	a = NewMatrix(2, 2)
+	if _, err := SolveLeastSquares(a, []float64{1}); err == nil {
+		t.Error("b length mismatch should error")
+	}
+	// Singular: second column is zero.
+	s := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		s.Set(i, 0, 1)
+	}
+	if _, err := SolveLeastSquares(s, []float64{1, 2, 3}); err != ErrSingular {
+		t.Errorf("singular err = %v, want ErrSingular", err)
+	}
+	// Rank-deficient: duplicate columns.
+	d := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		d.Set(i, 0, float64(i+1))
+		d.Set(i, 1, float64(i+1))
+	}
+	if _, err := SolveLeastSquares(d, []float64{1, 2, 3}); err != ErrSingular {
+		t.Errorf("rank-deficient err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLeastSquaresRandomRecovery(t *testing.T) {
+	// Random well-conditioned systems: solving A·x = A·x0 must recover x0.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 12, 4
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		x0 := make([]float64, cols)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64() * 10
+		}
+		b, err := a.MulVec(x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x0 {
+			if math.Abs(x[i]-x0[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], x0[i])
+			}
+		}
+	}
+}
+
+func TestSolveWeightedLeastSquares(t *testing.T) {
+	// Two contradictory observations of a constant; the heavier weight wins.
+	a := NewMatrix(2, 1)
+	a.Set(0, 0, 1)
+	a.Set(1, 0, 1)
+	x, err := SolveWeightedLeastSquares(a, []float64{0, 10}, []float64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-9) > 1e-9 {
+		t.Errorf("weighted solution = %v, want 9", x[0])
+	}
+	if _, err := SolveWeightedLeastSquares(a, []float64{0, 10}, []float64{1}); err == nil {
+		t.Error("weight length mismatch should error")
+	}
+	if _, err := SolveWeightedLeastSquares(a, []float64{0, 10}, []float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+}

@@ -1,0 +1,74 @@
+// Package predict validates the assumption behind stable consolidation
+// plans: that past workload behaviour predicts future behaviour (paper
+// Section 7.5, Figure 13). The paper averages the first two weeks of CPU
+// load to predict the third and reports an RMSE around 25 (≈7–8% of load).
+package predict
+
+import (
+	"fmt"
+
+	"kairos/internal/series"
+	"kairos/internal/stats"
+)
+
+// WeeklyForecast is the outcome of a past-predicts-future experiment.
+type WeeklyForecast struct {
+	// Prediction is the forecast series for the target week.
+	Prediction *series.Series
+	// Actual is the observed target week.
+	Actual *series.Series
+	// RMSE is the root-mean-squared error between them.
+	RMSE float64
+	// MeanAbsPctError is the RMSE relative to the actual mean, in percent
+	// (the paper's "7-8% off from the actual load").
+	MeanAbsPctError float64
+}
+
+// AverageOfWeeks predicts week `target` (0-based) of a trace as the
+// element-wise average of the preceding `history` weeks, and scores the
+// prediction against the actual week. samplesPerWeek is the number of
+// samples in one week.
+func AverageOfWeeks(trace *series.Series, samplesPerWeek, history, target int) (WeeklyForecast, error) {
+	if trace == nil || samplesPerWeek <= 0 {
+		return WeeklyForecast{}, fmt.Errorf("predict: nil trace or bad week length %d", samplesPerWeek)
+	}
+	if history < 1 {
+		return WeeklyForecast{}, fmt.Errorf("predict: need at least one history week, got %d", history)
+	}
+	if target < history {
+		return WeeklyForecast{}, fmt.Errorf("predict: target week %d has only %d prior weeks, need %d",
+			target, target, history)
+	}
+	if (target+1)*samplesPerWeek > trace.Len() {
+		return WeeklyForecast{}, fmt.Errorf("predict: trace has %d samples, target week %d needs %d",
+			trace.Len(), target, (target+1)*samplesPerWeek)
+	}
+
+	weeks := make([]*series.Series, 0, history)
+	for w := target - history; w < target; w++ {
+		s, err := trace.Slice(w*samplesPerWeek, (w+1)*samplesPerWeek)
+		if err != nil {
+			return WeeklyForecast{}, err
+		}
+		weeks = append(weeks, s)
+	}
+	sum, err := series.Sum(weeks)
+	if err != nil {
+		return WeeklyForecast{}, err
+	}
+	pred := sum.Scale(1 / float64(history))
+
+	actual, err := trace.Slice(target*samplesPerWeek, (target+1)*samplesPerWeek)
+	if err != nil {
+		return WeeklyForecast{}, err
+	}
+	rmse, err := stats.RMSE(pred.Values, actual.Values)
+	if err != nil {
+		return WeeklyForecast{}, err
+	}
+	out := WeeklyForecast{Prediction: pred, Actual: actual, RMSE: rmse}
+	if mean := actual.Mean(); mean > 0 {
+		out.MeanAbsPctError = rmse / mean * 100
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kairos/internal/fleet"
+	"kairos/internal/series"
+)
+
+func TestValidation(t *testing.T) {
+	s := series.Constant(time.Unix(0, 0), time.Minute, 30, 1)
+	if _, err := AverageOfWeeks(nil, 10, 2, 2); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := AverageOfWeeks(s, 0, 2, 2); err == nil {
+		t.Error("zero week length accepted")
+	}
+	if _, err := AverageOfWeeks(s, 10, 0, 2); err == nil {
+		t.Error("zero history accepted")
+	}
+	if _, err := AverageOfWeeks(s, 10, 2, 1); err == nil {
+		t.Error("target inside history accepted")
+	}
+	if _, err := AverageOfWeeks(s, 10, 2, 5); err == nil {
+		t.Error("target beyond trace accepted")
+	}
+}
+
+func TestPerfectlyPeriodicTraceHasZeroError(t *testing.T) {
+	// A trace that repeats exactly week over week is perfectly predicted.
+	week := 20
+	trace := series.FromFunc(time.Unix(0, 0), time.Minute, 3*week, func(_ time.Time, i int) float64 {
+		return 5 + math.Sin(2*math.Pi*float64(i%week)/float64(week))
+	})
+	f, err := AverageOfWeeks(trace, week, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE > 1e-9 {
+		t.Errorf("RMSE = %v, want 0 for periodic trace", f.RMSE)
+	}
+	if f.Prediction.Len() != week || f.Actual.Len() != week {
+		t.Error("forecast slices have wrong length")
+	}
+}
+
+func TestAveragingSmoothsNoise(t *testing.T) {
+	// Averaging two noisy history weeks predicts better than copying the
+	// immediately preceding week (variance halves).
+	week := 500
+	noise := func(i, w int) float64 {
+		// Deterministic pseudo-noise, different per week.
+		x := float64((i*2654435761 + w*40503) % 1000)
+		return (x/1000 - 0.5) * 2
+	}
+	mk := func(w int) []float64 {
+		out := make([]float64, week)
+		for i := range out {
+			out[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/float64(week)) + noise(i, w)
+		}
+		return out
+	}
+	var all []float64
+	for w := 0; w < 3; w++ {
+		all = append(all, mk(w)...)
+	}
+	trace := series.New(time.Unix(0, 0), time.Minute, all)
+
+	avg2, err := AverageOfWeeks(trace, week, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy1, err := AverageOfWeeks(trace, week, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg2.RMSE >= copy1.RMSE {
+		t.Errorf("averaging should beat last-week copy: avg=%v copy=%v", avg2.RMSE, copy1.RMSE)
+	}
+}
+
+func TestFleetPredictability(t *testing.T) {
+	// The Figure 13 result: for Wikipedia and Second Life, the average of
+	// weeks 1–2 predicts week 3 within ≈10% of the mean load.
+	for _, d := range []fleet.Dataset{fleet.Wikipedia, fleet.SecondLife} {
+		f := fleet.GenerateWeeks(d, 3)
+		agg := f.AggregateCPU()
+		fc, err := AverageOfWeeks(agg, 7*fleet.SamplesPerDay, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.MeanAbsPctError <= 0 || fc.MeanAbsPctError > 15 {
+			t.Errorf("%v: relative error %.1f%%, want ≈7-8%% (≤15%%)", d, fc.MeanAbsPctError)
+		}
+	}
+}

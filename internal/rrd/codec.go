@@ -1,0 +1,143 @@
+package rrd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The binary layout is little-endian:
+//
+//	magic "KRRD" | version u32 | startUnixNano i64 | step i64 | nUpdates i64
+//	| nArchives u32 | per archive: cf u32, steps u32, rows u32, head u32,
+//	written i64, accSeen u32, accCount u32, accSum f64, accMax f64,
+//	ring [rows]f64
+//
+// NaN rows round-trip (encoded as the canonical quiet NaN bit pattern).
+
+const (
+	magic   = "KRRD"
+	version = 1
+)
+
+// WriteTo serializes the database. It implements io.WriterTo.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	write := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	write(uint32(version))
+	write(db.start.UnixNano())
+	write(int64(db.step))
+	write(db.nUpdates)
+	write(uint32(len(db.archives)))
+	for _, a := range db.archives {
+		write(uint32(a.spec.CF))
+		write(uint32(a.spec.Steps))
+		write(uint32(a.spec.Rows))
+		write(uint32(a.head))
+		write(a.written)
+		write(uint32(a.accSeen))
+		write(uint32(a.accCount))
+		write(a.accSum)
+		write(a.accMax)
+		for _, v := range a.ring {
+			write(math.Float64bits(v))
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// Read deserializes a database previously written with WriteTo.
+func Read(r io.Reader) (*DB, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("rrd: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("rrd: bad magic")
+	}
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var ver uint32
+	if err := read(&ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("rrd: unsupported version %d", ver)
+	}
+	var startNano, step, nUpdates int64
+	var nArch uint32
+	if err := read(&startNano); err != nil {
+		return nil, err
+	}
+	if err := read(&step); err != nil {
+		return nil, err
+	}
+	if err := read(&nUpdates); err != nil {
+		return nil, err
+	}
+	if err := read(&nArch); err != nil {
+		return nil, err
+	}
+	if nArch == 0 || nArch > 1<<16 {
+		return nil, fmt.Errorf("rrd: implausible archive count %d", nArch)
+	}
+	db := &DB{
+		step:     time.Duration(step),
+		start:    time.Unix(0, startNano).UTC(),
+		nUpdates: nUpdates,
+	}
+	for i := uint32(0); i < nArch; i++ {
+		var cf, steps, rows, hd, accSeen, accCount uint32
+		var written int64
+		var accSum, accMax float64
+		for _, v := range []any{&cf, &steps, &rows, &hd} {
+			if err := read(v); err != nil {
+				return nil, err
+			}
+		}
+		if err := read(&written); err != nil {
+			return nil, err
+		}
+		for _, v := range []any{&accSeen, &accCount} {
+			if err := read(v); err != nil {
+				return nil, err
+			}
+		}
+		if err := read(&accSum); err != nil {
+			return nil, err
+		}
+		if err := read(&accMax); err != nil {
+			return nil, err
+		}
+		if rows == 0 || rows > 1<<24 {
+			return nil, fmt.Errorf("rrd: implausible ring size %d", rows)
+		}
+		if hd >= rows {
+			return nil, fmt.Errorf("rrd: head %d out of ring %d", hd, rows)
+		}
+		a := &archive{
+			spec:     ArchiveSpec{CF: CF(cf), Steps: int(steps), Rows: int(rows)},
+			ring:     make([]float64, rows),
+			head:     int(hd),
+			written:  written,
+			accSeen:  int(accSeen),
+			accCount: int(accCount),
+			accSum:   accSum,
+			accMax:   accMax,
+		}
+		for j := range a.ring {
+			var bits uint64
+			if err := read(&bits); err != nil {
+				return nil, err
+			}
+			a.ring[j] = math.Float64frombits(bits)
+		}
+		db.archives = append(db.archives, a)
+	}
+	return db, nil
+}

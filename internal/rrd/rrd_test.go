@@ -1,0 +1,333 @@
+package rrd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func mustNew(t *testing.T, specs ...ArchiveSpec) *DB {
+	t.Helper()
+	db, err := New(t0, time.Minute, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(t0, 0, ArchiveSpec{Average, 1, 10}); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := New(t0, time.Minute); err == nil {
+		t.Error("no archives should error")
+	}
+	if _, err := New(t0, time.Minute, ArchiveSpec{Average, 0, 10}); err == nil {
+		t.Error("zero steps should error")
+	}
+	if _, err := New(t0, time.Minute, ArchiveSpec{Average, 1, 0}); err == nil {
+		t.Error("zero rows should error")
+	}
+	if _, err := New(t0, time.Minute, ArchiveSpec{CF(99), 1, 10}); err == nil {
+		t.Error("unknown CF should error")
+	}
+}
+
+func TestCFString(t *testing.T) {
+	if Average.String() != "AVERAGE" || MaxCF.String() != "MAX" {
+		t.Error("CF names wrong")
+	}
+	if CF(42).String() == "" {
+		t.Error("unknown CF should still render")
+	}
+}
+
+func TestBaseArchiveRoundRobin(t *testing.T) {
+	db := mustNew(t, ArchiveSpec{Average, 1, 3})
+	db.UpdateAll([]float64{1, 2, 3, 4, 5})
+	s, err := db.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring holds the last 3 of 5 samples: 3, 4, 5.
+	if s.Len() != 3 || s.Values[0] != 3 || s.Values[2] != 5 {
+		t.Errorf("Fetch = %v, want [3 4 5]", s.Values)
+	}
+	// Oldest retained row is sample #2 (0-based) → t0+2min.
+	if !s.Start.Equal(t0.Add(2 * time.Minute)) {
+		t.Errorf("start = %v, want %v", s.Start, t0.Add(2*time.Minute))
+	}
+	if db.Updates() != 5 {
+		t.Errorf("Updates = %d, want 5", db.Updates())
+	}
+}
+
+func TestAverageConsolidation(t *testing.T) {
+	db := mustNew(t, ArchiveSpec{Average, 3, 10})
+	db.UpdateAll([]float64{1, 2, 3, 10, 20, 30, 5}) // last sample incomplete
+	s, err := db.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Values[0] != 2 || s.Values[1] != 20 {
+		t.Errorf("Fetch = %v, want [2 20]", s.Values)
+	}
+	if s.Step != 3*time.Minute {
+		t.Errorf("step = %v, want 3m", s.Step)
+	}
+}
+
+func TestMaxConsolidation(t *testing.T) {
+	db := mustNew(t, ArchiveSpec{MaxCF, 2, 10})
+	db.UpdateAll([]float64{1, 5, 3, 2, -1, -7})
+	s, err := db.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, -1}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Errorf("Fetch[%d] = %v, want %v", i, s.Values[i], w)
+		}
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	db := mustNew(t, ArchiveSpec{Average, 2, 10})
+	nan := math.NaN()
+	db.UpdateAll([]float64{nan, 4, nan, nan})
+	s, err := db.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Values[0] != 4 {
+		t.Errorf("row with one NaN should average the rest, got %v", s.Values[0])
+	}
+	if !math.IsNaN(s.Values[1]) {
+		t.Errorf("all-NaN row should be NaN, got %v", s.Values[1])
+	}
+}
+
+func TestMultipleArchives(t *testing.T) {
+	db := mustNew(t,
+		ArchiveSpec{Average, 1, 60},
+		ArchiveSpec{Average, 5, 12},
+		ArchiveSpec{MaxCF, 5, 12},
+	)
+	for i := 0; i < 60; i++ {
+		db.Update(float64(i % 10))
+	}
+	if len(db.Archives()) != 3 {
+		t.Fatal("expected 3 archives")
+	}
+	base, _ := db.Fetch(0)
+	avg, _ := db.Fetch(1)
+	mx, _ := db.Fetch(2)
+	if base.Len() != 60 || avg.Len() != 12 || mx.Len() != 12 {
+		t.Errorf("lengths = %d, %d, %d", base.Len(), avg.Len(), mx.Len())
+	}
+	// Each 5-sample window of 0..9 cycling: e.g. first window 0,1,2,3,4.
+	if avg.Values[0] != 2 {
+		t.Errorf("avg[0] = %v, want 2", avg.Values[0])
+	}
+	if mx.Values[0] != 4 {
+		t.Errorf("max[0] = %v, want 4", mx.Values[0])
+	}
+	if _, err := db.Fetch(3); err == nil {
+		t.Error("out-of-range Fetch should error")
+	}
+	if _, err := db.Fetch(-1); err == nil {
+		t.Error("negative Fetch should error")
+	}
+}
+
+func TestPaperStyleLayout(t *testing.T) {
+	// The paper's datasets: 15-second samples for the last hour, rolled up to
+	// 5-minute averages for the last day, 24-hour averages for the last year.
+	db, err := New(t0, 15*time.Second,
+		ArchiveSpec{Average, 1, 240},    // raw, 1 hour
+		ArchiveSpec{Average, 20, 288},   // 5 min, 24 hours
+		ArchiveSpec{Average, 5760, 365}, // 24 h, 1 year
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two days of a diurnal signal.
+	n := 2 * 24 * 60 * 4
+	for i := 0; i < n; i++ {
+		db.Update(50 + 50*math.Sin(2*math.Pi*float64(i)/float64(24*60*4)))
+	}
+	day, err := db.Fetch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day.Len() != 2 {
+		t.Fatalf("daily rows = %d, want 2", day.Len())
+	}
+	// A full sine period averages to ~50.
+	if math.Abs(day.Values[0]-50) > 1 {
+		t.Errorf("daily average = %v, want ≈50", day.Values[0])
+	}
+	fiveMin, err := db.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fiveMin.Len() != 288 {
+		t.Errorf("5-min rows retained = %d, want 288 (ring capacity)", fiveMin.Len())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	db := mustNew(t,
+		ArchiveSpec{Average, 1, 8},
+		ArchiveSpec{MaxCF, 4, 4},
+	)
+	db.UpdateAll([]float64{1, 2, math.NaN(), 4, 5, 6, 7, 8, 9, 10, 11})
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step() != db.Step() || got.Updates() != db.Updates() {
+		t.Error("metadata did not round-trip")
+	}
+	for idx := range db.archives {
+		a, _ := db.Fetch(idx)
+		b, _ := got.Fetch(idx)
+		if a.Len() != b.Len() {
+			t.Fatalf("archive %d length mismatch", idx)
+		}
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] && !(math.IsNaN(a.Values[i]) && math.IsNaN(b.Values[i])) {
+				t.Errorf("archive %d row %d: %v != %v", idx, i, a.Values[i], b.Values[i])
+			}
+		}
+		if !a.Start.Equal(b.Start) || a.Step != b.Step {
+			t.Errorf("archive %d series metadata mismatch", idx)
+		}
+	}
+	// Continuing to update the decoded DB must agree with the original.
+	db.Update(12)
+	got.Update(12)
+	a, _ := db.Fetch(1)
+	b, _ := got.Fetch(1)
+	if a.Len() != b.Len() {
+		t.Error("post-decode update diverged")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Read(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic should error")
+	}
+	var buf bytes.Buffer
+	db := mustNew(t, ArchiveSpec{Average, 1, 4})
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations anywhere must error, not panic.
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d should error", cut)
+		}
+	}
+	// Corrupt the version field.
+	bad := append([]byte(nil), full...)
+	bad[4] = 0xFF
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version should error")
+	}
+}
+
+// Property: for any data, fetching the base archive returns the most recent
+// min(n, rows) values exactly.
+func TestRoundRobinWindowProperty(t *testing.T) {
+	f := func(raw []float64, rowsRaw uint8) bool {
+		rows := int(rowsRaw%20) + 1
+		db, err := New(t0, time.Second, ArchiveSpec{Average, 1, rows})
+		if err != nil {
+			return false
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = v
+		}
+		db.UpdateAll(vals)
+		s, err := db.Fetch(0)
+		if err != nil {
+			return false
+		}
+		want := len(vals)
+		if want > rows {
+			want = rows
+		}
+		if s.Len() != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if s.Values[i] != vals[len(vals)-want+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: codec round-trip preserves every archive bit-for-bit.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		db, err := New(t0, time.Second,
+			ArchiveSpec{Average, 1, 16}, ArchiveSpec{MaxCF, 3, 8})
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			if math.IsInf(v, 0) {
+				v = 0
+			}
+			db.Update(v)
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for idx := 0; idx < 2; idx++ {
+			a, _ := db.Fetch(idx)
+			b, _ := got.Fetch(idx)
+			if a.Len() != b.Len() {
+				return false
+			}
+			for i := range a.Values {
+				av, bv := a.Values[i], b.Values[i]
+				if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

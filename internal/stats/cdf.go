@@ -1,0 +1,66 @@
+package stats
+
+import "sort"
+
+// CDF is an empirical cumulative distribution function built from a sample.
+// The paper reports model accuracy as CDFs of resource utilization
+// (Figure 6); this type renders the same curves.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the number of samples backing the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns F(x): the fraction of samples ≤ x. An empty CDF returns 0.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want strictly "≤ x" so search for the first index > x.
+	n := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Quantile returns the value below which fraction q (0 ≤ q ≤ 1) of the
+// samples fall, with linear interpolation. An empty CDF returns 0.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Points renders the CDF as n evenly spaced (x, F(x)) pairs spanning the
+// sample range, suitable for plotting or for table output in benchmarks.
+func (c *CDF) Points(n int) (xs, fs []float64) {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	xs = make([]float64, n)
+	fs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		xs[i] = x
+		fs[i] = c.At(x)
+	}
+	return xs, fs
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); got != cse.want {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 {
+		t.Error("empty CDF should report 0 everywhere")
+	}
+	xs, fs := c.Points(5)
+	if xs != nil || fs != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+	if got := c.Quantile(0.5); got != 30 {
+		t.Errorf("Quantile(0.5) = %v, want 30", got)
+	}
+	if got := c.Quantile(-0.5); got != 10 {
+		t.Errorf("Quantile(-0.5) = %v, want clamp to 10", got)
+	}
+	if got := c.Quantile(2); got != 50 {
+		t.Errorf("Quantile(2) = %v, want clamp to 50", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	xs, fs := c.Points(3)
+	if len(xs) != 3 || len(fs) != 3 {
+		t.Fatalf("Points lengths = %d, %d; want 3, 3", len(xs), len(fs))
+	}
+	if xs[0] != 0 || xs[1] != 5 || xs[2] != 10 {
+		t.Errorf("xs = %v, want [0 5 10]", xs)
+	}
+	if fs[2] != 1 {
+		t.Errorf("F(max) = %v, want 1", fs[2])
+	}
+	if _, fs1 := c.Points(1); len(fs1) != 1 {
+		t.Error("Points(1) should return a single point")
+	}
+}
+
+// Property: CDF is monotone non-decreasing and bounded by [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		xs := make([]float64, int(n)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		c := NewCDF(xs)
+		prev := 0.0
+		for x := -400.0; x <= 400; x += 25 {
+			cur := c.At(x)
+			if cur < prev || cur < 0 || cur > 1 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is an approximate inverse of At.
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	c := NewCDF(xs)
+	for q := 0.05; q < 1; q += 0.05 {
+		v := c.Quantile(q)
+		got := c.At(v)
+		if got < q-0.02 || got > q+0.02 {
+			t.Errorf("At(Quantile(%v)) = %v, want ≈%v", q, got, q)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"uniform", []float64{2, 2, 2, 2}, 2},
+		{"mixed", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+	mn, mx, err := MinMax([]float64{3, -2, 9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn != -2 || mx != 9 {
+		t.Errorf("MinMax = (%v, %v), want (-2, 9)", mn, mx)
+	}
+	if Min([]float64{5, 1}) != 1 || Max([]float64{5, 1}) != 5 {
+		t.Error("Min/Max convenience wrappers disagree with MinMax")
+	}
+}
+
+func TestMinMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{25, 20},
+		{50, 35},
+		{75, 40},
+		{100, 50},
+		{40, 29}, // rank 1.6 → 20 + 0.6*(35-20)
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(empty) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("Percentile(-1) should error")
+	}
+}
+
+func TestPercentilesBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	ps := []float64{0, 5, 25, 50, 75, 95, 100}
+	batch, err := Percentiles(xs, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		single, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(batch[i], single, 1e-12) {
+			t.Errorf("Percentiles[%v] = %v, Percentile = %v", p, batch[i], single)
+		}
+	}
+	if _, err := Percentiles(nil, 50); err != ErrEmpty {
+		t.Error("Percentiles(empty) should return ErrEmpty")
+	}
+	if _, err := Percentiles(xs, 200); err == nil {
+		t.Error("Percentiles with out-of-range p should error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v, %v; want 5, nil", got, err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{1, 2, 3}
+	if got, _ := RMSE(pred, act); got != 0 {
+		t.Errorf("RMSE of identical = %v, want 0", got)
+	}
+	got, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(12.5)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("RMSE length mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); err != ErrEmpty {
+		t.Error("RMSE(empty) should return ErrEmpty")
+	}
+}
+
+func TestMAEAndMaxAbsError(t *testing.T) {
+	pred := []float64{1, 5, 2}
+	act := []float64{2, 2, 2}
+	mae, err := MAE(pred, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mae, 4.0/3, 1e-12) {
+		t.Errorf("MAE = %v, want 4/3", mae)
+	}
+	mx, err := MaxAbsError(pred, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx != 3 {
+		t.Errorf("MaxAbsError = %v, want 3", mx)
+	}
+	if _, err := MAE([]float64{1}, nil); err == nil {
+		t.Error("MAE mismatch should error")
+	}
+	if _, err := MaxAbsError([]float64{1}, nil); err == nil {
+		t.Error("MaxAbsError mismatch should error")
+	}
+	if _, err := MAE(nil, nil); err != ErrEmpty {
+		t.Error("MAE(empty) should return ErrEmpty")
+	}
+	if _, err := MaxAbsError(nil, nil); err != ErrEmpty {
+		t.Error("MaxAbsError(empty) should return ErrEmpty")
+	}
+}
+
+// Property: for any sample, Percentile(0) == min and Percentile(100) == max,
+// and percentiles are monotone in p.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p0, _ := Percentile(xs, 0)
+		p100, _ := Percentile(xs, 100)
+		mn, mx, _ := MinMax(xs)
+		if p0 != mn || p100 != mx {
+			return false
+		}
+		prev := p0
+		for p := 10.0; p <= 100; p += 10 {
+			cur, _ := Percentile(xs, p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		mn, mx, _ := MinMax(xs)
+		return m >= mn-1e-9 && m <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

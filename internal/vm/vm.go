@@ -1,0 +1,342 @@
+// Package vm simulates the three consolidation strategies the paper
+// compares in Section 7.4:
+//
+//   - ConsolidatedDBMS — Kairos' approach: one DBMS instance hosting every
+//     database, sharing one buffer pool and one log stream;
+//   - OSVirtualization — one DBMS process per database on a shared kernel
+//     (containers/zones): RAM statically partitioned, one log stream per
+//     process, duplicated DBMS process overhead;
+//   - HardwareVirtualization — one VM per database (VMware-style): all the
+//     OS-virtualization costs plus a duplicated guest OS per VM, a
+//     hypervisor CPU tax, and context-switch overhead that grows with the
+//     number of VMs.
+//
+// All three run on the same simulated disk and the same total CPU/RAM, so
+// throughput differences come only from the structural overheads the paper
+// identifies: redundant log streams de-sequentialize the disk, duplicated
+// OS+DBMS copies burn RAM, and the hypervisor burns CPU.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kairos/internal/dbms"
+	"kairos/internal/disk"
+	"kairos/internal/workload"
+)
+
+// Mode selects the consolidation strategy.
+type Mode int
+
+const (
+	// ConsolidatedDBMS runs one DBMS instance with many databases.
+	ConsolidatedDBMS Mode = iota
+	// OSVirtualization runs one DBMS process per database on one kernel.
+	OSVirtualization
+	// HardwareVirtualization runs one VM (guest OS + DBMS) per database.
+	HardwareVirtualization
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ConsolidatedDBMS:
+		return "consolidated-dbms"
+	case OSVirtualization:
+		return "os-virtualization"
+	case HardwareVirtualization:
+		return "hw-virtualization"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// HostConfig describes the physical machine and the strategy to simulate.
+type HostConfig struct {
+	Mode Mode
+	// TotalRAMBytes is the machine's physical memory.
+	TotalRAMBytes int64
+	// CPUCores and CoreOpsPerSec define the machine's CPU capacity.
+	CPUCores      int
+	CoreOpsPerSec float64
+	// Disk is the physical disk profile.
+	Disk disk.Params
+	// DBMS is the per-instance configuration template; buffer pool size and
+	// CPU fields are overridden per mode.
+	DBMS dbms.Config
+	// HypervisorCPUTax is the fraction of CPU burned by the hypervisor per
+	// VM operation (hardware virtualization only).
+	HypervisorCPUTax float64
+	// ContextSwitchTaxPerVM is additional CPU overhead per extra VM,
+	// modelling more frequent and more expensive context switches.
+	ContextSwitchTaxPerVM float64
+}
+
+// DefaultHostConfig returns the paper's Server 1 (8 cores, 32 GB RAM, one
+// 7200 RPM SATA disk) with VMware-like overhead parameters.
+func DefaultHostConfig(mode Mode) HostConfig {
+	return HostConfig{
+		Mode:                  mode,
+		TotalRAMBytes:         32 << 30,
+		CPUCores:              8,
+		CoreOpsPerSec:         2.0e6,
+		Disk:                  disk.Server7200SATA(),
+		DBMS:                  dbms.DefaultConfig(),
+		HypervisorCPUTax:      0.12,
+		ContextSwitchTaxPerVM: 0.004,
+	}
+}
+
+// tenant is one workload with its instance (shared in consolidated mode).
+type tenant struct {
+	gen  *workload.Generator
+	inst *dbms.Instance
+}
+
+// Host is a physical machine running workloads under one of the strategies.
+type Host struct {
+	cfg     HostConfig
+	disk    *disk.Disk
+	shared  *dbms.Instance // consolidated mode only
+	tenants []tenant
+	clock   time.Duration
+}
+
+// NewHost creates an empty host.
+func NewHost(cfg HostConfig) (*Host, error) {
+	if cfg.TotalRAMBytes <= 0 {
+		return nil, fmt.Errorf("vm: total RAM must be positive, got %d", cfg.TotalRAMBytes)
+	}
+	if cfg.CPUCores <= 0 || cfg.CoreOpsPerSec <= 0 {
+		return nil, fmt.Errorf("vm: CPU capacity must be positive")
+	}
+	d, err := disk.New(cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{cfg: cfg, disk: d}, nil
+}
+
+// Mode returns the host's consolidation strategy.
+func (h *Host) Mode() Mode { return h.cfg.Mode }
+
+// Disk returns the host's disk.
+func (h *Host) Disk() *disk.Disk { return h.disk }
+
+// Tenants returns the number of hosted workloads.
+func (h *Host) Tenants() int { return len(h.tenants) }
+
+// AddWorkloads places the given workloads on the host, sizing buffer pools
+// according to the mode's RAM layout, and optionally pre-warms working sets.
+// It must be called exactly once, before Run.
+func (h *Host) AddWorkloads(specs []workload.Spec, warm bool) error {
+	if len(h.tenants) > 0 {
+		return fmt.Errorf("vm: workloads already added")
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("vm: no workloads")
+	}
+	n := int64(len(specs))
+	base := h.cfg.DBMS
+
+	switch h.cfg.Mode {
+	case ConsolidatedDBMS:
+		// One OS, one DBMS process, one big buffer pool.
+		cfg := base
+		cfg.CPUCores = h.cfg.CPUCores
+		cfg.CoreOpsPerSec = h.cfg.CoreOpsPerSec
+		cfg.BufferPoolBytes = h.cfg.TotalRAMBytes - base.OSRAMBytes - base.ProcessRAMBytes
+		if cfg.BufferPoolBytes < int64(cfg.PageSize) {
+			return fmt.Errorf("vm: RAM too small for consolidated pool")
+		}
+		inst, err := dbms.NewInstance(cfg, h.disk, 0)
+		if err != nil {
+			return err
+		}
+		h.shared = inst
+		for _, spec := range specs {
+			gen, err := workload.Provision(inst, spec, warm)
+			if err != nil {
+				return err
+			}
+			h.tenants = append(h.tenants, tenant{gen: gen, inst: inst})
+		}
+
+	case OSVirtualization, HardwareVirtualization:
+		// RAM is statically partitioned. OS virtualization shares one
+		// kernel; hardware virtualization duplicates the guest OS per VM.
+		perVM := (h.cfg.TotalRAMBytes - base.OSRAMBytes) / n
+		osCopies := int64(0)
+		if h.cfg.Mode == HardwareVirtualization {
+			perVM = h.cfg.TotalRAMBytes / n
+			osCopies = 1
+		}
+		for i, spec := range specs {
+			cfg := base
+			cfg.Seed = base.Seed + uint64(i)
+			cfg.CPUCores = h.cfg.CPUCores
+			// CPU capacity is granted per tick by the host scheduler; the
+			// per-instance CoreOpsPerSec only scales latency estimates.
+			cfg.CoreOpsPerSec = h.cfg.CoreOpsPerSec
+			cfg.BufferPoolBytes = perVM - base.ProcessRAMBytes - osCopies*base.OSRAMBytes
+			if cfg.BufferPoolBytes < int64(cfg.PageSize) {
+				return fmt.Errorf("vm: RAM too small for %d %s tenants", n, h.cfg.Mode)
+			}
+			inst, err := dbms.NewInstance(cfg, h.disk, i)
+			if err != nil {
+				return err
+			}
+			gen, err := workload.Provision(inst, spec, warm)
+			if err != nil {
+				return err
+			}
+			h.tenants = append(h.tenants, tenant{gen: gen, inst: inst})
+		}
+
+	default:
+		return fmt.Errorf("vm: unknown mode %v", h.cfg.Mode)
+	}
+	return nil
+}
+
+// cpuOpsPerTick returns the host CPU capacity for one tick after the
+// mode-specific virtualization taxes.
+func (h *Host) cpuOpsPerTick(dt time.Duration) float64 {
+	total := float64(h.cfg.CPUCores) * h.cfg.CoreOpsPerSec * dt.Seconds()
+	if h.cfg.Mode == HardwareVirtualization {
+		tax := h.cfg.HypervisorCPUTax + h.cfg.ContextSwitchTaxPerVM*float64(len(h.tenants))
+		if tax > 0.9 {
+			tax = 0.9
+		}
+		total *= 1 - tax
+	}
+	return total
+}
+
+// RunStats summarises a Run.
+type RunStats struct {
+	// TotalTxns is the number of transactions completed across tenants.
+	TotalTxns int64
+	// PerTenantTxns is the per-workload completed transaction count, in
+	// AddWorkloads order.
+	PerTenantTxns []int64
+	// Elapsed is the simulated duration.
+	Elapsed time.Duration
+	// ThroughputTPS is the aggregate transaction throughput.
+	ThroughputTPS float64
+	// PerTenantTPS is the per-workload throughput.
+	PerTenantTPS []float64
+	// AvgDiskUtilization is the mean disk busy fraction.
+	AvgDiskUtilization float64
+}
+
+// Run advances the host by total simulated time in steps of dt and returns
+// aggregate statistics. CPU is shared across instances with max-min
+// fairness (work-conserving, like a real scheduler), and the single disk
+// serves every instance's reads, log streams and write-back.
+func (h *Host) Run(total, dt time.Duration) (RunStats, error) {
+	if len(h.tenants) == 0 {
+		return RunStats{}, fmt.Errorf("vm: no workloads added")
+	}
+	startTxns := make([]int64, len(h.tenants))
+	for i, t := range h.tenants {
+		startTxns[i] = t.gen.DB().Stats().Txns
+	}
+	diskStart := h.disk.Stats()
+
+	instances := h.instances()
+	ticks := int(total / dt)
+	for tick := 0; tick < ticks; tick++ {
+		// Generate and enqueue this tick's demands.
+		for _, t := range h.tenants {
+			req := t.gen.Next(dt)
+			t.inst.Enqueue([]dbms.Request{req})
+		}
+		// Divide the host CPU between instances: max-min fairness over
+		// their demands (work-conserving).
+		budget := h.cpuOpsPerTick(dt)
+		demands := make([]float64, len(instances))
+		for i, inst := range instances {
+			demands[i] = inst.DemandCPUOps()
+		}
+		grants := maxMinFair(demands, budget)
+		states := make([]dbms.SubmitState, len(instances))
+		for i, inst := range instances {
+			states[i] = inst.RunWork(dt, grants[i])
+		}
+		// One disk serves everything.
+		h.disk.Tick(dt)
+		for i, inst := range instances {
+			inst.PostTick(dt, states[i])
+		}
+		h.clock += dt
+	}
+
+	stats := RunStats{Elapsed: total}
+	stats.PerTenantTxns = make([]int64, len(h.tenants))
+	stats.PerTenantTPS = make([]float64, len(h.tenants))
+	for i, t := range h.tenants {
+		done := t.gen.DB().Stats().Txns - startTxns[i]
+		stats.PerTenantTxns[i] = done
+		stats.PerTenantTPS[i] = float64(done) / total.Seconds()
+		stats.TotalTxns += done
+	}
+	stats.ThroughputTPS = float64(stats.TotalTxns) / total.Seconds()
+	dnow := h.disk.Stats()
+	if el := dnow.ElapsedTime - diskStart.ElapsedTime; el > 0 {
+		u := float64(dnow.BusyTime-diskStart.BusyTime) / float64(el)
+		if u > 1 {
+			u = 1
+		}
+		stats.AvgDiskUtilization = u
+	}
+	return stats, nil
+}
+
+// instances returns the distinct DBMS instances on the host.
+func (h *Host) instances() []*dbms.Instance {
+	if h.shared != nil {
+		return []*dbms.Instance{h.shared}
+	}
+	out := make([]*dbms.Instance, len(h.tenants))
+	for i, t := range h.tenants {
+		out[i] = t.inst
+	}
+	return out
+}
+
+// maxMinFair divides capacity across demands with progressive filling: no
+// instance gets more than it asked for, unmet demand shares the remainder
+// equally — the behaviour of a work-conserving CPU scheduler.
+func maxMinFair(demands []float64, capacity float64) []float64 {
+	n := len(demands)
+	grants := make([]float64, n)
+	if n == 0 || capacity <= 0 {
+		return grants
+	}
+	type entry struct {
+		idx    int
+		demand float64
+	}
+	order := make([]entry, n)
+	for i, d := range demands {
+		if d < 0 {
+			d = 0
+		}
+		order[i] = entry{i, d}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].demand < order[b].demand })
+	remaining := capacity
+	for i, e := range order {
+		share := remaining / float64(n-i)
+		g := e.demand
+		if g > share {
+			g = share
+		}
+		grants[e.idx] = g
+		remaining -= g
+	}
+	return grants
+}

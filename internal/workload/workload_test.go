@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kairos/internal/dbms"
+	"kairos/internal/disk"
+)
+
+func TestPatternsStayNonNegativeAndAverageOne(t *testing.T) {
+	patterns := map[string]Pattern{
+		"flat":     Flat(),
+		"sinusoid": Sinusoid(time.Hour, 0.9),
+		"sawtooth": Sawtooth(2*time.Hour, 0.7),
+		"square":   Square(time.Hour, 0.5),
+		"diurnal":  Diurnal(14, 4),
+	}
+	for name, p := range patterns {
+		var sum float64
+		n := 24 * 60
+		for i := 0; i < n; i++ {
+			v := p(time.Duration(i) * time.Minute)
+			if v < 0 {
+				t.Errorf("%s: negative multiplier %v at minute %d", name, v, i)
+			}
+			sum += v
+		}
+		mean := sum / float64(n)
+		if mean < 0.8 || mean > 1.2 {
+			t.Errorf("%s: mean multiplier %v, want ≈1", name, mean)
+		}
+	}
+}
+
+func TestBurstyPattern(t *testing.T) {
+	p := Bursty(10*time.Hour, time.Hour, 5)
+	if got := p(30 * time.Minute); got != 5 {
+		t.Errorf("in-burst multiplier = %v, want 5", got)
+	}
+	if got := p(5 * time.Hour); got != 0.25 {
+		t.Errorf("quiet multiplier = %v, want 0.25", got)
+	}
+	// Next period bursts again.
+	if got := p(10*time.Hour + 30*time.Minute); got != 5 {
+		t.Errorf("second-period burst = %v, want 5", got)
+	}
+}
+
+func TestDiurnalPeaksAtPeakHour(t *testing.T) {
+	p := Diurnal(14, 3)
+	peak := p(14 * time.Hour)
+	trough := p(2 * time.Hour)
+	if peak <= trough {
+		t.Errorf("peak %v not above trough %v", peak, trough)
+	}
+	ratio := peak / trough
+	if math.Abs(ratio-3) > 0.01 {
+		t.Errorf("peak/trough ratio = %v, want 3", ratio)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := TPCC(10, 100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	cases := []Spec{
+		{},                         // empty name
+		{Name: "x", DataPages: -1}, // negative size
+		{Name: "x", DataPages: 10, WorkingSetPages: 20},         // ws > data
+		{Name: "x", DataPages: 10, WorkingSetPages: 5, TPS: -1}, // negative rate
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestTPCCScaling(t *testing.T) {
+	s5 := TPCC(5, 50)
+	s10 := TPCC(10, 50)
+	if s10.WorkingSetPages != 2*s5.WorkingSetPages {
+		t.Errorf("working set should scale with warehouses: %d vs %d", s5.WorkingSetPages, s10.WorkingSetPages)
+	}
+	// 140 MB per warehouse: 5 warehouses = 700 MB.
+	wantWS := int64(5) * 140 << 20 / PageSize
+	if s5.WorkingSetPages != wantWS {
+		t.Errorf("WS pages = %d, want %d", s5.WorkingSetPages, wantWS)
+	}
+	if err := s5.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWikipediaScaling(t *testing.T) {
+	s := Wikipedia(100_000, 100)
+	// 100K pages → 2.2 GB working set.
+	wantWS := (int64(2200) << 20) / PageSize
+	if s.WorkingSetPages != wantWS {
+		t.Errorf("WS pages = %d, want %d", s.WorkingSetPages, wantWS)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Read-mostly: reads dominate updates strongly.
+	if s.UpdatesPerTxn >= s.ReadsPerTxn/4 {
+		t.Errorf("wikipedia should be read-mostly: reads=%v updates=%v", s.ReadsPerTxn, s.UpdatesPerTxn)
+	}
+}
+
+func TestMicroWorkloadsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		s := Micro(i)
+		if err := s.Validate(); err != nil {
+			t.Errorf("micro %d invalid: %v", i, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate micro name %q", s.Name)
+		}
+		seen[s.Name] = true
+		// Working sets in the paper's 512 MB – 2.5 GB range.
+		ws := s.WorkingSetBytes()
+		if ws < 512<<20 || ws > 2560<<20 {
+			t.Errorf("micro %d working set %d outside 512MB–2.5GB", i, ws)
+		}
+	}
+	// Index wraps.
+	if Micro(5).Name != Micro(0).Name || Micro(-1).Name != Micro(4).Name {
+		t.Error("Micro index should wrap modulo 5")
+	}
+}
+
+func TestGeneratorRateExact(t *testing.T) {
+	d, _ := disk.New(disk.Server7200SATA())
+	in, _ := dbms.NewInstance(dbms.DefaultConfig(), d, 0)
+	db, _ := in.CreateDatabase("w", 1000)
+	spec := Spec{Name: "w", DataPages: 1000, WorkingSetPages: 100, TPS: 33.3,
+		ReadsPerTxn: 2.5, UpdatesPerTxn: 0.7}
+	g, err := NewGenerator(spec, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txns, reads, updates int
+	ticks := 1000
+	dt := 100 * time.Millisecond
+	for i := 0; i < ticks; i++ {
+		r := g.Next(dt)
+		txns += r.Txns
+		reads += r.Reads
+		updates += r.Updates
+	}
+	elapsed := float64(ticks) * dt.Seconds()
+	wantTxns := spec.TPS * elapsed
+	if math.Abs(float64(txns)-wantTxns) > 1 {
+		t.Errorf("txns = %d, want %v (exact carry)", txns, wantTxns)
+	}
+	wantReads := wantTxns * spec.ReadsPerTxn
+	if math.Abs(float64(reads)-wantReads) > 1 {
+		t.Errorf("reads = %d, want %v", reads, wantReads)
+	}
+	wantUpdates := wantTxns * spec.UpdatesPerTxn
+	if math.Abs(float64(updates)-wantUpdates) > 1 {
+		t.Errorf("updates = %d, want %v", updates, wantUpdates)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Spec{}, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := NewGenerator(TPCC(1, 10), nil); err == nil {
+		t.Error("nil database accepted")
+	}
+}
+
+func TestProvisionCreatesAndWarms(t *testing.T) {
+	d, _ := disk.New(disk.Server7200SATA())
+	cfg := dbms.DefaultConfig()
+	in, _ := dbms.NewInstance(cfg, d, 0)
+	spec := TPCC(2, 20)
+	g, err := Provision(in, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DB().DataPages() != spec.DataPages {
+		t.Errorf("db size = %d, want %d", g.DB().DataPages(), spec.DataPages)
+	}
+	// Warmed: the working set is resident, so a tick of reads causes no
+	// physical reads.
+	in.Tick(100*time.Millisecond, []dbms.Request{g.Next(100 * time.Millisecond)})
+	if phys := g.DB().Stats().PhysReads; phys != 0 {
+		t.Errorf("warm workload caused %d physical reads", phys)
+	}
+	// Duplicate provisioning fails (db exists).
+	if _, err := Provision(in, spec, false); err == nil {
+		t.Error("duplicate provision accepted")
+	}
+}
+
+func TestGeneratorPatternModulatesLoad(t *testing.T) {
+	d, _ := disk.New(disk.Server7200SATA())
+	in, _ := dbms.NewInstance(dbms.DefaultConfig(), d, 0)
+	db, _ := in.CreateDatabase("sq", 1000)
+	spec := Spec{Name: "sq", DataPages: 1000, WorkingSetPages: 10, TPS: 100,
+		Pattern: Square(2*time.Second, 1)} // full swing: 2x then 0
+	g, _ := NewGenerator(spec, db)
+	var first, second int
+	for i := 0; i < 10; i++ { // first half-period: multiplier 2
+		first += g.Next(100 * time.Millisecond).Txns
+	}
+	for i := 0; i < 10; i++ { // second half-period: multiplier 0
+		second += g.Next(100 * time.Millisecond).Txns
+	}
+	if first <= second || second != 0 {
+		t.Errorf("square pattern not applied: first=%d second=%d", first, second)
+	}
+}
+
+// Property: generator never emits negative work and long-run totals track
+// TPS for arbitrary (sane) spec parameters.
+func TestPropertyGeneratorConservation(t *testing.T) {
+	d, _ := disk.New(disk.Server7200SATA())
+	in, _ := dbms.NewInstance(dbms.DefaultConfig(), d, 0)
+	db, _ := in.CreateDatabase("p", 1<<20)
+	f := func(tpsRaw uint8, readsRaw, updatesRaw uint8) bool {
+		tps := float64(tpsRaw) / 3
+		spec := Spec{Name: "p", DataPages: 1 << 20, WorkingSetPages: 100,
+			TPS: tps, ReadsPerTxn: float64(readsRaw) / 16, UpdatesPerTxn: float64(updatesRaw) / 16}
+		g, err := NewGenerator(spec, db)
+		if err != nil {
+			return false
+		}
+		var txns int
+		for i := 0; i < 200; i++ {
+			r := g.Next(50 * time.Millisecond)
+			if r.Txns < 0 || r.Reads < 0 || r.Updates < 0 || r.ExtraCPU < 0 {
+				return false
+			}
+			txns += r.Txns
+		}
+		want := tps * 10 // 200 ticks of 50 ms
+		return math.Abs(float64(txns)-want) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package kairos is a workload-aware database monitoring and consolidation
+// system, a reproduction of "Workload-Aware Database Monitoring and
+// Consolidation" (Curino, Jones, Madden, Balakrishnan — SIGMOD 2011).
+//
+// Kairos takes a collection of database workloads running on dedicated,
+// mostly-idle servers and computes an assignment onto far fewer machines
+// that preserves their throughput. The pipeline has three stages, each
+// usable on its own:
+//
+//  1. Monitor (internal/monitor re-exported here): sample CPU, RAM and disk
+//     statistics from running DBMS instances, and run buffer-pool gauging —
+//     a probe-table technique that measures the true working set of an
+//     over-provisioned database without touching its configuration.
+//  2. Model (internal/model): predict the combined resource consumption of
+//     co-located workloads. CPU and RAM compose linearly (with an overhead
+//     correction); disk I/O goes through an empirical hardware profile —
+//     a 2-D least-absolute-residuals polynomial over working-set size and
+//     row-update rate.
+//  3. Consolidate (internal/core): a mixed-integer non-linear program,
+//     solved with the DIRECT global optimizer plus deterministic local
+//     search, that minimizes the machine count and balances load without
+//     over-committing any resource at any time step.
+//
+// Everything runs against a built-in DBMS/disk simulator (internal/dbms,
+// internal/disk), so the whole system — including the paper's experiments —
+// works on a laptop with no external dependencies.
+//
+// Quick start:
+//
+//	profile, _ := kairos.ProfileHardware(kairos.QuickProfiler())
+//	plan, _ := kairos.Consolidate(workloads, machines, profile, kairos.DefaultOptions())
+//	fmt.Println(plan)
+package kairos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"kairos/internal/core"
+	"kairos/internal/dbms"
+	"kairos/internal/model"
+	"kairos/internal/monitor"
+	"kairos/internal/workload"
+)
+
+// Re-exported building blocks: the facade works entirely in terms of these
+// types, so downstream code rarely needs the internal packages directly.
+type (
+	// Workload is one database's resource profile (time series of CPU,
+	// RAM, working set and update rate) plus placement requirements.
+	Workload = core.Workload
+	// Machine is one consolidation target with capacities and headroom.
+	Machine = core.Machine
+	// Problem is a full consolidation instance.
+	Problem = core.Problem
+	// Solution is the computed assignment.
+	Solution = core.Solution
+	// SolveOptions tunes the solver budgets.
+	SolveOptions = core.SolveOptions
+	// DiskProfile is the empirical disk model of a target configuration.
+	DiskProfile = model.DiskProfile
+	// Profiler sweeps a hardware configuration to build a DiskProfile.
+	Profiler = model.Profiler
+	// GaugeConfig tunes buffer-pool gauging.
+	GaugeConfig = monitor.GaugeConfig
+	// GaugeResult is the outcome of a gauging run.
+	GaugeResult = monitor.GaugeResult
+	// ResourceProfile is a monitored workload's resource time series.
+	ResourceProfile = monitor.Profile
+	// LatencySLA bounds the queueing slowdown a workload tolerates after
+	// consolidation (utilization cap on its host machine).
+	LatencySLA = core.LatencySLA
+	// Grouping configures ConsolidatePartitioned.
+	Grouping = core.Grouping
+	// PartitionedSolution is the result of ConsolidatePartitioned.
+	PartitionedSolution = core.PartitionedSolution
+)
+
+// DefaultOptions returns the standard solver budgets.
+func DefaultOptions() SolveOptions { return core.DefaultSolveOptions() }
+
+// QuickProfiler returns a reduced hardware sweep that builds a usable disk
+// profile in a few seconds of wall-clock time (the full DefaultProfiler
+// sweep matches the paper's ranges and takes a minute or two).
+func QuickProfiler() Profiler {
+	pr := model.DefaultProfiler()
+	pr.WSPointsMB = []float64{500, 1500, 3000}
+	pr.RatePoints = []float64{1000, 4000, 10000, 20000, 40000}
+	pr.Settle = 30 * time.Second
+	pr.Measure = 30 * time.Second
+	return pr
+}
+
+// ProfileHardware runs the profiling sweep and returns the fitted disk
+// model for the configuration (paper Section 4.1, Figure 4).
+func ProfileHardware(pr Profiler) (*DiskProfile, error) {
+	return pr.Run()
+}
+
+// GaugeWorkingSet measures the true working set of the databases hosted on
+// a live instance by buffer-pool gauging (paper Section 3.1, Figure 3),
+// while the given workloads keep running.
+func GaugeWorkingSet(in *dbms.Instance, gens []*workload.Generator, cfg GaugeConfig) (GaugeResult, error) {
+	return monitor.Gauge(in, gens, cfg)
+}
+
+// Plan is a consolidation solution together with its per-machine loads.
+type Plan struct {
+	*Solution
+	// Loads reports every used machine's peak resources and balance.
+	Loads []core.ServerLoad
+	// Names maps unit index to workload name.
+	Names []string
+}
+
+// Consolidate solves the placement problem: assign every workload (and its
+// replicas) to machines so the machine count is minimal and load balanced,
+// with CPU, RAM and modelled disk I/O all staying within capacity at every
+// time step. Pass a nil profile to skip the disk constraint.
+func Consolidate(workloads []Workload, machines []Machine, dp *DiskProfile, opt SolveOptions) (*Plan, error) {
+	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
+	sol, err := core.Solve(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := core.NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(sol.Units))
+	for i, u := range sol.Units {
+		names[i] = workloads[u.Workload].Name
+		if u.Replica > 0 {
+			names[i] = fmt.Sprintf("%s/r%d", names[i], u.Replica)
+		}
+	}
+	return &Plan{
+		Solution: sol,
+		Loads:    ev.Report(sol.Assign, sol.K),
+		Names:    names,
+	}, nil
+}
+
+// String renders the plan as a human-readable placement table.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "consolidation plan: %d workloads -> %d machines (feasible=%v, %.1fs solve)\n",
+		len(p.Names), p.K, p.Feasible, p.Elapsed.Seconds())
+	byMachine := make([][]string, p.K)
+	for u, j := range p.Assign {
+		if j >= 0 && j < p.K {
+			byMachine[j] = append(byMachine[j], p.Names[u])
+		}
+	}
+	for j, names := range byMachine {
+		if len(names) == 0 {
+			fmt.Fprintf(&b, "  machine %d: (unused)\n", j)
+			continue
+		}
+		sort.Strings(names)
+		load := ""
+		if j < len(p.Loads) {
+			sl := p.Loads[j]
+			load = fmt.Sprintf(" [cpu %.0f%% ram %.1fGB disk %.1fMB/s]",
+				sl.CPUPeak*100, sl.RAMPeak/1e9, sl.DiskPeak/1e6)
+		}
+		fmt.Fprintf(&b, "  machine %d%s: %s\n", j, load, strings.Join(names, ", "))
+	}
+	return b.String()
+}
+
+// ConsolidatePartitioned solves very large inventories by splitting the
+// workloads into fixed-size groups and consolidating each independently —
+// the paper's Section 7.5 strategy for "tens of thousands of databases".
+// It trades some cross-group co-location opportunity for linear scaling.
+func ConsolidatePartitioned(workloads []Workload, machines []Machine, dp *DiskProfile, g Grouping) (*PartitionedSolution, error) {
+	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
+	return core.SolvePartitioned(p, g)
+}
+
+// MeasureWorkloads drives the given workload generators on an instance for
+// the duration and returns one resource profile per workload plus the
+// instance-wide profile — the paper's Resource Monitor in one call.
+func MeasureWorkloads(in *dbms.Instance, gens []*workload.Generator, duration time.Duration) (map[string]*ResourceProfile, *ResourceProfile, error) {
+	c, err := monitor.NewCollector(in, gens)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Collect(duration)
+}
+
+// WorkloadFromProfile converts a monitored profile into a consolidation
+// workload. cpuScale converts the measured machine's CPU fraction into
+// target-machine units (sourceCores·clock / targetCores·clock); the working
+// set series doubles as the RAM requirement.
+func WorkloadFromProfile(p *ResourceProfile, cpuScale float64) Workload {
+	if cpuScale <= 0 {
+		cpuScale = 1
+	}
+	return Workload{
+		Name:         p.Name,
+		CPU:          p.CPU.Scale(cpuScale),
+		RAMBytes:     p.WorkingSetBytes.Clone(),
+		WSBytes:      p.WorkingSetBytes.Clone(),
+		UpdateRate:   p.RowUpdatesPerSec.Clone(),
+		DiskWriteBps: p.DiskWriteBps.Clone(),
+		PinTo:        -1,
+	}
+}
