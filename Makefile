@@ -1,0 +1,36 @@
+# Kairos build targets. These mirror .github/workflows/ci.yml exactly so
+# local runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: build test test-full race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+# Fast suite: skips the simulated profiler sweeps and long co-location runs.
+test:
+	$(GO) test -short ./...
+
+# Full suite, including the slow model/vm/figure tests (the tier-1 verify
+# command from ROADMAP.md).
+test-full:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Benchmark smoke: every benchmark once, no unit tests. The full figure
+# benchmarks regenerate the paper's evaluation; see bench_test.go.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" $$out; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint test race bench

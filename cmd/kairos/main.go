@@ -174,6 +174,8 @@ func cmdConsolidate(args []string) error {
 	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
 	headroom := fs.Float64("headroom", 0.05, "per-machine safety margin")
 	verbose := fs.Bool("v", false, "print the full placement")
+	parallel := fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)")
+	shards := fs.Int("shards", 0, "split the fleet into this many correlation-aware shards solved concurrently (0 = single global solve)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,7 +203,20 @@ func cmdConsolidate(args []string) error {
 	for i := range machines {
 		machines[i] = fleet.TargetMachine(fmt.Sprintf("target-%02d", i), 50e6, *headroom)
 	}
-	plan, err := kairos.Consolidate(wls, machines, dp, kairos.DefaultOptions())
+	opt := kairos.DefaultOptions()
+	switch {
+	case *parallel == 0:
+		opt = kairos.ParallelOptions()
+	case *parallel > 1:
+		opt.Workers = *parallel
+	}
+	var plan *kairos.Plan
+	if *shards > 0 {
+		plan, err = kairos.ConsolidateFleet(wls, machines, dp,
+			kairos.ShardOptions{Shards: *shards, Options: opt})
+	} else {
+		plan, err = kairos.Consolidate(wls, machines, dp, opt)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module kairos
+
+go 1.22

@@ -110,6 +110,17 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 	return ev, nil
 }
 
+// Clone returns an evaluator that shares ev's immutable problem data (the
+// demand arrays, pins and conflict lists are never written after
+// NewEvaluator) but counts its own Fevals, so each worker goroutine of a
+// parallel solve can evaluate assignments without locking. Callers that
+// care about totals add the clone's Fevals back deterministically.
+func (ev *Evaluator) Clone() *Evaluator {
+	c := *ev
+	c.Fevals = 0
+	return &c
+}
+
 // NumUnits returns the number of placement units (workloads × replicas).
 func (ev *Evaluator) NumUnits() int { return len(ev.units) }
 

@@ -188,6 +188,22 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// HomogeneousMachines reports whether every machine has identical
+// capacities and headroom, which makes machine labels interchangeable —
+// the property the sharded solver needs to relabel concurrent shard plans
+// onto disjoint machine ranges.
+func (p *Problem) HomogeneousMachines() bool {
+	for _, m := range p.Machines[1:] {
+		if m.CPUCapacity != p.Machines[0].CPUCapacity ||
+			m.RAMBytes != p.Machines[0].RAMBytes ||
+			m.DiskWriteBps != p.Machines[0].DiskWriteBps ||
+			m.Headroom != p.Machines[0].Headroom {
+			return false
+		}
+	}
+	return true
+}
+
 // units expands workloads into placement units (one per replica).
 func (p *Problem) units() []unit {
 	var out []unit

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"kairos/internal/direct"
@@ -23,11 +25,41 @@ type SolveOptions struct {
 	// SkipDirect uses only greedy seeding plus hill climbing — the fast
 	// path for very large instances.
 	SkipDirect bool
+	// Workers is the solver's evaluation parallelism: DIRECT candidate
+	// batches and greedy seeding fan out across this many goroutines, and
+	// the binary search over the machine count probes the speculative next
+	// K values concurrently, cancelling losers (0 or 1 = fully sequential).
+	// The computed plan is identical for every worker count — parallelism
+	// only changes wall-clock time — so results stay reproducible.
+	Workers int
+}
+
+// workers normalizes the Workers option.
+func (o SolveOptions) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultSolveOptions returns the standard budgets.
 func DefaultSolveOptions() SolveOptions {
 	return SolveOptions{DirectFevals: 2000}
+}
+
+// ParallelSolveOptions returns the standard budgets with one solver worker
+// per available CPU.
+func ParallelSolveOptions() SolveOptions {
+	o := DefaultSolveOptions()
+	o.Workers = runtime.GOMAXPROCS(0)
+	return o
+}
+
+// kCandidate is a feasible plan found while searching the machine count.
+type kCandidate struct {
+	assign []int
+	obj    float64
+	k      int
 }
 
 // Solve finds a consolidation plan: the minimum feasible machine count K'
@@ -45,6 +77,7 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 	if opt.PolishFevals <= 0 {
 		opt.PolishFevals = 2 * opt.DirectFevals
 	}
+	ctx := context.Background()
 
 	maxK := len(p.Machines)
 	lo := ev.FractionalLowerBound()
@@ -62,14 +95,14 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 		if opt.FixedK > maxK {
 			return nil, fmt.Errorf("core: FixedK %d exceeds available machines %d", opt.FixedK, maxK)
 		}
-		assign, objv, feas := ev.solveK(opt.FixedK, opt, true)
+		assign, objv, feas := ev.solveK(ctx, opt.FixedK, opt, true)
 		return ev.finish(p, assign, opt.FixedK, objv, feas, start), nil
 	}
 
 	// Upper bound: greedy packing (validated against all constraints); if
 	// greedy fails, fall back to every available machine.
 	hi := maxK
-	if bins, ok := ev.greedySeed(maxK); ok {
+	if bins, ok := ev.greedySeed(maxK, opt.workers()); ok {
 		hi = len(bins)
 	}
 	if hi < lo {
@@ -78,25 +111,24 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 
 	// Binary search the smallest feasible K. Feasibility at K is decided by
 	// a budgeted solve; the search keeps the best feasible solution found.
-	type best struct {
-		assign []int
-		obj    float64
-		k      int
-	}
-	var found *best
-	for lo < hi {
-		mid := (lo + hi) / 2
-		assign, objv, feas := ev.solveK(mid, opt, false)
-		if feas {
-			found = &best{assign: assign, obj: objv, k: mid}
-			hi = mid
-		} else {
-			lo = mid + 1
+	var found *kCandidate
+	if opt.workers() > 1 {
+		found = ev.searchKSpeculative(lo, hi, opt, &lo)
+	} else {
+		for lo < hi {
+			mid := (lo + hi) / 2
+			assign, objv, feas := ev.solveK(ctx, mid, opt, false)
+			if feas {
+				found = &kCandidate{assign: assign, obj: objv, k: mid}
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
 		}
 	}
 	kStar := lo
 	// Final run at K' with the polish budget.
-	assign, objv, feas := ev.solveK(kStar, opt, true)
+	assign, objv, feas := ev.solveK(ctx, kStar, opt, true)
 	if !feas && found != nil && found.k == kStar {
 		assign, objv, feas = found.assign, found.obj, true
 	}
@@ -104,7 +136,7 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 		// The bound search can be misled by budgeted solves; walk K upward
 		// until feasible.
 		for k := kStar + 1; k <= maxK; k++ {
-			assign, objv, feas = ev.solveK(k, opt, true)
+			assign, objv, feas = ev.solveK(ctx, k, opt, true)
 			if feas {
 				kStar = k
 				break
@@ -112,6 +144,92 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 		}
 	}
 	return ev.finish(p, assign, kStar, objv, feas, start), nil
+}
+
+// searchKSpeculative runs the binary search over the machine count with
+// speculative parallel probing: while the current midpoint K solves, the
+// midpoints of both possible next intervals solve concurrently on cloned
+// evaluators, and probes that fall outside the interval once the current
+// result lands are cancelled via their context. The sequence of consumed
+// probes is exactly the sequential binary search's, and every probe is a
+// deterministic function of its K, so the outcome (including Fevals, which
+// only counts consumed probes) is identical to the sequential path. The
+// final interval low bound is written to *loOut.
+func (ev *Evaluator) searchKSpeculative(lo, hi int, opt SolveOptions, loOut *int) *kCandidate {
+	type probeRes struct {
+		assign []int
+		obj    float64
+		feas   bool
+		fevals int
+	}
+	type future struct {
+		cancel context.CancelFunc
+		ch     chan probeRes
+	}
+	// Up to three probes (the current mid plus both speculative next mids)
+	// run at once; splitting the worker budget across them keeps the
+	// search's total goroutine count at ~Workers. Which workers a probe
+	// gets never changes its result, only its wall clock.
+	probeOpt := opt
+	if probeOpt.Workers = opt.workers() / 3; probeOpt.Workers < 1 {
+		probeOpt.Workers = 1
+	}
+	launch := func(K int) *future {
+		ctx, cancel := context.WithCancel(context.Background())
+		f := &future{cancel: cancel, ch: make(chan probeRes, 1)}
+		pe := ev.Clone()
+		go func() {
+			a, o, feas := pe.solveK(ctx, K, probeOpt, false)
+			f.ch <- probeRes{a, o, feas, pe.Fevals}
+		}()
+		return f
+	}
+	futures := map[int]*future{}
+	ensure := func(K int) *future {
+		if f, ok := futures[K]; ok {
+			return f
+		}
+		f := launch(K)
+		futures[K] = f
+		return f
+	}
+	defer func() {
+		for _, f := range futures {
+			f.cancel()
+		}
+	}()
+
+	var found *kCandidate
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cur := ensure(mid)
+		// Speculate both possible next probes while mid solves.
+		if next := (lo + mid) / 2; next < mid {
+			ensure(next)
+		}
+		if next := (mid + 1 + hi) / 2; next > mid && next < hi {
+			ensure(next)
+		}
+		r := <-cur.ch
+		cur.cancel()
+		delete(futures, mid)
+		ev.Fevals += r.fevals
+		if r.feas {
+			found = &kCandidate{assign: r.assign, obj: r.obj, k: mid}
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+		// The interval moved: probes outside it can never be consumed.
+		for K, f := range futures {
+			if K < lo || K >= hi {
+				f.cancel()
+				delete(futures, K)
+			}
+		}
+	}
+	*loOut = lo
+	return found
 }
 
 // finish assembles the Solution.
@@ -181,8 +299,10 @@ func (ev *Evaluator) FractionalLowerBound() int {
 }
 
 // greedySeed packs units with the paper's single-resource greedy baseline,
-// using the full multi-resource feasibility check, and returns bins.
-func (ev *Evaluator) greedySeed(maxBins int) ([][]int, bool) {
+// using the full multi-resource feasibility check, and returns bins. With
+// workers > 1 the per-resource packings run concurrently, each against its
+// own evaluator clone.
+func (ev *Evaluator) greedySeed(maxBins, workers int) ([][]int, bool) {
 	nU := len(ev.units)
 	peak := func(vals [][]float64) []float64 {
 		out := make([]float64, nU)
@@ -199,20 +319,31 @@ func (ev *Evaluator) greedySeed(maxBins int) ([][]int, bool) {
 	if ev.p.Disk != nil {
 		loads = append(loads, peak(ev.rate))
 	}
-	fits := func(bin []int, item int) bool {
-		// Pins and conflicts cannot be checked bin-locally against machine
-		// indices, so the greedy seed only enforces resources and
-		// conflicts; pinning is repaired by hill climbing.
-		for _, b := range bin {
-			if ev.conflicted(b, item) {
-				return false
+	fitsFor := func(e *Evaluator) greedy.FitsFunc {
+		return func(bin []int, item int) bool {
+			// Pins and conflicts cannot be checked bin-locally against machine
+			// indices, so the greedy seed only enforces resources and
+			// conflicts; pinning is repaired by hill climbing.
+			for _, b := range bin {
+				if e.conflicted(b, item) {
+					return false
+				}
 			}
+			members := append(append([]int(nil), bin...), item)
+			sl := e.serverEval(0, members)
+			return sl.Violation == 0
 		}
-		members := append(append([]int(nil), bin...), item)
-		sl := ev.serverEval(0, members)
-		return sl.Violation == 0
 	}
-	bins, ok, err := greedy.MultiResource(loads, fits, maxBins)
+	var bins [][]int
+	var ok bool
+	var err error
+	if workers > 1 && len(loads) > 1 {
+		bins, ok, err = greedy.MultiResourceParallel(loads, func(int) greedy.FitsFunc {
+			return fitsFor(ev.Clone())
+		}, maxBins, workers)
+	} else {
+		bins, ok, err = greedy.MultiResource(loads, fitsFor(ev), maxBins)
+	}
 	if err != nil || !ok {
 		return nil, false
 	}
@@ -221,8 +352,10 @@ func (ev *Evaluator) greedySeed(maxBins int) ([][]int, bool) {
 
 // solveK finds the best assignment on exactly K machines with the given
 // budget: greedy and spread seeds improved by hill climbing, plus an
-// optional DIRECT global search, polished again. Deterministic throughout.
-func (ev *Evaluator) solveK(K int, opt SolveOptions, polish bool) (assign []int, obj float64, feasible bool) {
+// optional DIRECT global search, polished again. Deterministic throughout
+// for any worker count; a cancelled ctx aborts early with a best-effort
+// result (speculative probes discard it anyway).
+func (ev *Evaluator) solveK(ctx context.Context, K int, opt SolveOptions, polish bool) (assign []int, obj float64, feasible bool) {
 	nU := len(ev.units)
 	type cand struct {
 		assign []int
@@ -231,12 +364,12 @@ func (ev *Evaluator) solveK(K int, opt SolveOptions, polish bool) (assign []int,
 	}
 	var cands []cand
 	try := func(a []int) {
-		a2, o2, f2 := ev.hillClimb(a, K)
+		a2, o2, f2 := ev.hillClimb(ctx, a, K)
 		cands = append(cands, cand{a2, o2, f2})
 	}
 
 	// Seed 1: greedy bins (may use fewer than K machines).
-	if bins, ok := ev.greedySeed(K); ok {
+	if bins, ok := ev.greedySeed(K, opt.workers()); ok {
 		a := greedy.Assignment(bins, nU)
 		for u := range a {
 			if a[u] < 0 {
@@ -259,7 +392,9 @@ func (ev *Evaluator) solveK(K int, opt SolveOptions, polish bool) (assign []int,
 	try(rr)
 
 	// DIRECT global search over the compact encoding: one continuous
-	// variable per unit in [0, K), floor() gives the machine index.
+	// variable per unit in [0, K), floor() gives the machine index. With
+	// workers > 1 each DIRECT iteration's candidate batch is evaluated
+	// across the worker pool, every worker owning an evaluator clone.
 	if !opt.SkipDirect {
 		budget := opt.DirectFevals
 		if polish {
@@ -270,8 +405,7 @@ func (ev *Evaluator) solveK(K int, opt SolveOptions, polish bool) (assign []int,
 		for i := range upper {
 			upper[i] = float64(K)
 		}
-		tmp := make([]int, nU)
-		objf := func(x []float64) float64 {
+		decode := func(x []float64, out []int) []int {
 			for i, v := range x {
 				j := int(v)
 				if j >= K {
@@ -280,28 +414,41 @@ func (ev *Evaluator) solveK(K int, opt SolveOptions, polish bool) (assign []int,
 				if ev.pin[i] >= 0 {
 					j = ev.pin[i]
 				}
-				tmp[i] = j
+				out[i] = j
 			}
-			o, _ := ev.Eval(tmp, K)
-			return o
+			return out
 		}
-		res, err := direct.Minimize(objf, lower, upper, direct.Options{
-			MaxFevals: budget,
-			Epsilon:   1e-4,
-		})
-		if err == nil {
-			a := make([]int, nU)
-			for i, v := range res.X {
-				j := int(v)
-				if j >= K {
-					j = K - 1
+		dopt := direct.Options{MaxFevals: budget, Epsilon: 1e-4, Ctx: ctx}
+		var res direct.Result
+		var derr error
+		if workers := opt.workers(); workers > 1 {
+			dopt.Workers = workers
+			clones := make([]*Evaluator, workers)
+			res, derr = direct.MinimizeParallel(func(w int) direct.Objective {
+				ce := ev.Clone()
+				clones[w] = ce
+				tmp := make([]int, nU)
+				return func(x []float64) float64 {
+					o, _ := ce.Eval(decode(x, tmp), K)
+					return o
 				}
-				if ev.pin[i] >= 0 {
-					j = ev.pin[i]
+			}, lower, upper, dopt)
+			// Fold worker counters back in fixed order: the total is the
+			// batch-point count, independent of scheduling.
+			for _, ce := range clones {
+				if ce != nil {
+					ev.Fevals += ce.Fevals
 				}
-				a[i] = j
 			}
-			try(a)
+		} else {
+			tmp := make([]int, nU)
+			res, derr = direct.Minimize(func(x []float64) float64 {
+				o, _ := ev.Eval(decode(x, tmp), K)
+				return o
+			}, lower, upper, dopt)
+		}
+		if derr == nil {
+			try(decode(res.X, make([]int, nU)))
 		}
 	}
 
@@ -335,7 +482,13 @@ func (ev *Evaluator) serverContrib(j int, members []int) float64 {
 // moves — the "polishing" phase of Section 6. Only the two machines touched
 // by a move are re-priced, so a full sweep costs O(U·K·units-per-server·T)
 // rather than O(U²·K·T).
-func (ev *Evaluator) hillClimb(assign []int, K int) ([]int, float64, bool) {
+func (ev *Evaluator) hillClimb(ctx context.Context, assign []int, K int) ([]int, float64, bool) {
+	return ev.hillClimbRounds(ctx, assign, K, 100)
+}
+
+// hillClimbRounds is hillClimb with an explicit sweep budget (the sharded
+// solver's cross-shard rebalance pass uses a small one).
+func (ev *Evaluator) hillClimbRounds(ctx context.Context, assign []int, K int, maxRounds int) ([]int, float64, bool) {
 	cur := append([]int(nil), assign...)
 	members := make([][]int, K)
 	for u, j := range cur {
@@ -357,7 +510,7 @@ func (ev *Evaluator) hillClimb(assign []int, K int) ([]int, float64, bool) {
 	}
 
 	improved := true
-	for rounds := 0; improved && rounds < 100; rounds++ {
+	for rounds := 0; improved && rounds < maxRounds && ctx.Err() == nil; rounds++ {
 		improved = false
 		for u := 0; u < len(cur); u++ {
 			if ev.pin[u] >= 0 {

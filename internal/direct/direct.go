@@ -12,13 +12,25 @@
 // Epsilon parameter trades global exploration against local refinement,
 // which is exactly the knob Section 6 of the paper tunes after bounding the
 // number of servers.
+//
+// The engine evaluates each iteration's candidate points as one batch, so
+// MinimizeParallel can spread a batch across a worker pool: every worker
+// owns a private Objective (cloned evaluator state) and writes results into
+// its own index slots, which keeps the search bit-identical to the
+// sequential path for any worker count.
 package direct
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
+
+// defaultWorkers is the pool size when Options.Workers is unset.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Objective is a function to minimize. The slice must not be retained.
 type Objective func(x []float64) float64
@@ -34,10 +46,18 @@ type Options struct {
 	// values allow more local polishing around the incumbent (default 1e-4).
 	Epsilon float64
 	// Target stops the search early once f ≤ Target (use -Inf to disable;
-	// the zero value disables too when TargetSet is false).
+	// the zero value disables too when TargetSet is false). The condition is
+	// checked after each completed iteration batch.
 	Target float64
 	// TargetSet enables Target.
 	TargetSet bool
+	// Workers sets the batch-evaluation parallelism for MinimizeParallel
+	// (≤ 0 means one worker per GOMAXPROCS slot). Minimize ignores it.
+	Workers int
+	// Ctx optionally cancels the search between iterations: when it
+	// expires, the best point found so far is returned along with the
+	// context's error. Nil means never cancel.
+	Ctx context.Context
 }
 
 // Result is the outcome of a minimization.
@@ -73,49 +93,148 @@ func (r *rect) computeSize() {
 	r.d = math.Sqrt(s)
 }
 
-// Minimize runs DIRECT on f over the box [lower, upper].
-func Minimize(f Objective, lower, upper []float64, opt Options) (Result, error) {
+// batchEvaler evaluates a batch of normalized points and returns one
+// objective value per point, in order. Implementations may evaluate the
+// points concurrently but must keep results index-aligned.
+type batchEvaler func(points [][]float64) []float64
+
+// checkBounds validates the search box.
+func checkBounds(lower, upper []float64) (int, error) {
 	n := len(lower)
 	if n == 0 || len(upper) != n {
-		return Result{}, fmt.Errorf("direct: bounds must be non-empty and equal length (got %d/%d)",
+		return 0, fmt.Errorf("direct: bounds must be non-empty and equal length (got %d/%d)",
 			len(lower), len(upper))
 	}
 	for i := range lower {
 		if !(upper[i] > lower[i]) {
-			return Result{}, fmt.Errorf("direct: upper[%d]=%v not greater than lower[%d]=%v",
+			return 0, fmt.Errorf("direct: upper[%d]=%v not greater than lower[%d]=%v",
 				i, upper[i], i, lower[i])
 		}
 	}
+	return n, nil
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxFevals <= 0 {
+		o.MaxFevals = 5000
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 1000
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-4
+	}
+}
+
+// Minimize runs DIRECT on f over the box [lower, upper]. The objective is
+// called from the invoking goroutine only.
+func Minimize(f Objective, lower, upper []float64, opt Options) (Result, error) {
 	if f == nil {
 		return Result{}, fmt.Errorf("direct: nil objective")
 	}
-	if opt.MaxFevals <= 0 {
-		opt.MaxFevals = 5000
+	n, err := checkBounds(lower, upper)
+	if err != nil {
+		return Result{}, err
 	}
-	if opt.MaxIters <= 0 {
-		opt.MaxIters = 1000
+	opt.applyDefaults()
+	buf := make([]float64, n)
+	eval := func(points [][]float64) []float64 {
+		out := make([]float64, len(points))
+		for i, x := range points {
+			for d := range x {
+				buf[d] = lower[d] + x[d]*(upper[d]-lower[d])
+			}
+			out[i] = f(buf)
+		}
+		return out
 	}
-	if opt.Epsilon <= 0 {
-		opt.Epsilon = 1e-4
+	return minimizeBatched(eval, lower, upper, opt)
+}
+
+// MinimizeParallel runs DIRECT evaluating each iteration's candidate batch
+// concurrently across a pool of opt.Workers goroutines. mkObj is invoked
+// once per worker (worker indices 0..Workers-1) to create that worker's
+// private Objective, so non-thread-safe evaluation state can be cloned per
+// worker instead of locked. The search visits exactly the points the
+// sequential engine would and is bit-identical to Minimize for objectives
+// that agree across workers, regardless of the worker count.
+func MinimizeParallel(mkObj func(worker int) Objective, lower, upper []float64, opt Options) (Result, error) {
+	if mkObj == nil {
+		return Result{}, fmt.Errorf("direct: nil objective factory")
+	}
+	n, err := checkBounds(lower, upper)
+	if err != nil {
+		return Result{}, err
+	}
+	opt.applyDefaults()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers == 1 {
+		return Minimize(mkObj(0), lower, upper, opt)
 	}
 
-	// denorm maps unit-cube coordinates to the original box.
-	buf := make([]float64, n)
-	fevals := 0
-	eval := func(x []float64) float64 {
-		for i := range x {
-			buf[i] = lower[i] + x[i]*(upper[i]-lower[i])
-		}
-		fevals++
-		return f(buf)
+	type workerState struct {
+		obj Objective
+		buf []float64
 	}
+	pool := make([]workerState, workers)
+	for w := range pool {
+		pool[w] = workerState{obj: mkObj(w), buf: make([]float64, n)}
+		if pool[w].obj == nil {
+			return Result{}, fmt.Errorf("direct: objective factory returned nil for worker %d", w)
+		}
+	}
+	eval := func(points [][]float64) []float64 {
+		out := make([]float64, len(points))
+		if len(points) == 0 {
+			return out
+		}
+		// Contiguous slabs keep each worker's share deterministic and its
+		// result writes disjoint.
+		per := (len(points) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*per, (w+1)*per
+			if lo >= len(points) {
+				break
+			}
+			if hi > len(points) {
+				hi = len(points)
+			}
+			wg.Add(1)
+			go func(ws *workerState, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					for d, v := range points[i] {
+						ws.buf[d] = lower[d] + v*(upper[d]-lower[d])
+					}
+					out[i] = ws.obj(ws.buf)
+				}
+			}(&pool[w], lo, hi)
+		}
+		wg.Wait()
+		return out
+	}
+	return minimizeBatched(eval, lower, upper, opt)
+}
+
+// minimizeBatched is the shared DIRECT engine. Each iteration gathers every
+// candidate point allowed by the remaining budget, evaluates the batch via
+// eval, then processes results in gathering order — so the trajectory does
+// not depend on how eval schedules the batch internally.
+func minimizeBatched(eval batchEvaler, lower, upper []float64, opt Options) (Result, error) {
+	n := len(lower)
+	fevals := 0
 
 	// Seed: the center of the cube.
 	c0 := make([]float64, n)
 	for i := range c0 {
 		c0[i] = 0.5
 	}
-	first := &rect{center: c0, f: eval(c0), levels: make([]int8, n)}
+	fevals++
+	first := &rect{center: c0, f: eval([][]float64{c0})[0], levels: make([]int8, n)}
 	first.computeSize()
 	rects := []*rect{first}
 
@@ -125,67 +244,100 @@ func Minimize(f Objective, lower, upper []float64, opt Options) (Result, error) 
 	done := func() bool {
 		return fevals >= opt.MaxFevals || (opt.TargetSet && best.f <= opt.Target)
 	}
+	cancelled := func() bool {
+		if opt.Ctx == nil {
+			return false
+		}
+		select {
+		case <-opt.Ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 
+	var ctxErr error
 	for it := 0; it < opt.MaxIters && !done(); it++ {
+		if cancelled() {
+			ctxErr = opt.Ctx.Err()
+			break
+		}
 		res.Iters = it + 1
 		po := potentiallyOptimal(rects, best.f, opt.Epsilon)
 		if len(po) == 0 {
 			break
 		}
+
+		// Gather this iteration's candidate points: c ± delta·e_dim for each
+		// longest dimension of each potentially-optimal rectangle, truncated
+		// in deterministic order when the feval budget runs out.
+		type probe struct {
+			rectIdx    int
+			dim        int
+			loIdx      int // index of the c-delta point in the batch
+			lo, hi     *rect
+			bestOfPair float64
+		}
+		var probes []probe
+		var points [][]float64
+		planned := fevals
 		for _, ri := range po {
-			if done() {
-				break
-			}
 			r := rects[ri]
-			// Longest sides (smallest level).
 			minLevel := r.levels[0]
 			for _, l := range r.levels {
 				if l < minLevel {
 					minLevel = l
 				}
 			}
-			var dims []int
-			for i, l := range r.levels {
-				if l == minLevel {
-					dims = append(dims, i)
-				}
-			}
 			delta := math.Pow(3, -float64(minLevel)) / 3
-
-			// Sample c ± delta·e_i for each longest dimension.
-			type probe struct {
-				dim        int
-				lo, hi     *rect
-				bestOfPair float64
-			}
-			probes := make([]probe, 0, len(dims))
-			for _, dim := range dims {
-				if fevals+2 > opt.MaxFevals {
+			for dim, l := range r.levels {
+				if l != minLevel {
+					continue
+				}
+				if planned+2 > opt.MaxFevals {
 					break
 				}
-				mk := func(off float64) *rect {
+				mk := func(off float64) []float64 {
 					c := append([]float64(nil), r.center...)
 					c[dim] += off
-					nr := &rect{center: c, f: eval(c), levels: append([]int8(nil), r.levels...)}
-					return nr
+					return c
 				}
-				lo := mk(-delta)
-				hi := mk(+delta)
-				if lo.f < best.f {
-					best = lo
+				probes = append(probes, probe{rectIdx: ri, dim: dim, loIdx: len(points)})
+				points = append(points, mk(-delta), mk(+delta))
+				planned += 2
+			}
+		}
+		if len(points) == 0 {
+			break
+		}
+		values := eval(points)
+		fevals += len(points)
+
+		// Process results rect by rect, in gathering order.
+		for pi := 0; pi < len(probes); {
+			ri := probes[pi].rectIdx
+			r := rects[ri]
+			var group []probe
+			for pi < len(probes) && probes[pi].rectIdx == ri {
+				p := probes[pi]
+				p.lo = &rect{center: points[p.loIdx], f: values[p.loIdx]}
+				p.hi = &rect{center: points[p.loIdx+1], f: values[p.loIdx+1]}
+				if p.lo.f < best.f {
+					best = p.lo
 				}
-				if hi.f < best.f {
-					best = hi
+				if p.hi.f < best.f {
+					best = p.hi
 				}
-				probes = append(probes, probe{dim: dim, lo: lo, hi: hi,
-					bestOfPair: math.Min(lo.f, hi.f)})
+				p.bestOfPair = math.Min(p.lo.f, p.hi.f)
+				group = append(group, p)
+				pi++
 			}
 			// Divide along the probed dimensions, best pair first (the
 			// original DIRECT ordering keeps good regions in big boxes).
-			sort.SliceStable(probes, func(a, b int) bool {
-				return probes[a].bestOfPair < probes[b].bestOfPair
+			sort.SliceStable(group, func(a, b int) bool {
+				return group[a].bestOfPair < group[b].bestOfPair
 			})
-			for _, p := range probes {
+			for _, p := range group {
 				r.levels[p.dim]++
 				p.lo.levels = append([]int8(nil), r.levels...)
 				p.hi.levels = append([]int8(nil), r.levels...)
@@ -203,7 +355,7 @@ func Minimize(f Objective, lower, upper []float64, opt Options) (Result, error) 
 	for i := range res.X {
 		res.X[i] = lower[i] + best.center[i]*(upper[i]-lower[i])
 	}
-	return res, nil
+	return res, ctxErr
 }
 
 // potentiallyOptimal returns indices of rectangles on the lower-right convex

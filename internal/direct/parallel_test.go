@@ -1,0 +1,126 @@
+package direct
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// rastrigin is an expensive-ish multimodal objective for parallel tests.
+func rastrigin(x []float64) float64 {
+	sum := 10.0 * float64(len(x))
+	for _, v := range x {
+		sum += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return sum
+}
+
+func sameResult(t *testing.T, a, b Result, label string) {
+	t.Helper()
+	if a.F != b.F || a.Fevals != b.Fevals || a.Iters != b.Iters {
+		t.Errorf("%s: (F=%v fevals=%d iters=%d) vs (F=%v fevals=%d iters=%d)",
+			label, a.F, a.Fevals, a.Iters, b.F, b.Fevals, b.Iters)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Errorf("%s: X[%d] = %v vs %v", label, i, a.X[i], b.X[i])
+		}
+	}
+}
+
+// The parallel engine must visit exactly the sequential engine's points:
+// the result is bit-identical for every worker count.
+func TestMinimizeParallelMatchesSequential(t *testing.T) {
+	lo := []float64{-5.12, -5.12, -5.12}
+	hi := []float64{5.12, 5.12, 5.12}
+	seq, err := Minimize(rastrigin, lo, hi, Options{MaxFevals: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		par, err := MinimizeParallel(func(int) Objective { return rastrigin },
+			lo, hi, Options{MaxFevals: 3000, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, seq, par, "workers="+string(rune('0'+workers)))
+	}
+}
+
+func TestMinimizeParallelDeterministic(t *testing.T) {
+	lo := []float64{-2, -2}
+	hi := []float64{2, 2}
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	r1, err := MinimizeParallel(func(int) Objective { return f }, lo, hi,
+		Options{MaxFevals: 2000, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MinimizeParallel(func(int) Objective { return f }, lo, hi,
+		Options{MaxFevals: 2000, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, r1, r2, "repeat run")
+}
+
+func TestMinimizeParallelValidation(t *testing.T) {
+	lo, hi := []float64{0}, []float64{1}
+	if _, err := MinimizeParallel(nil, lo, hi, Options{}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := MinimizeParallel(func(int) Objective { return nil }, lo, hi,
+		Options{Workers: 2}); err == nil {
+		t.Error("nil worker objective accepted")
+	}
+	if _, err := MinimizeParallel(func(int) Objective { return rastrigin },
+		[]float64{1}, []float64{0}, Options{Workers: 2}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+// A cancelled context stops the search between iterations and surfaces the
+// context error along with the best point found so far.
+func TestMinimizeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	slow := func(x []float64) float64 {
+		evals++
+		if evals == 50 {
+			cancel()
+		}
+		return rastrigin(x)
+	}
+	res, err := Minimize(slow, []float64{-5, -5}, []float64{5, 5},
+		Options{MaxFevals: 1_000_000, MaxIters: 1_000_000, Ctx: ctx})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res.Fevals >= 1000 {
+		t.Errorf("cancellation ignored: %d fevals", res.Fevals)
+	}
+	if len(res.X) != 2 {
+		t.Errorf("cancelled run lost the best point: %v", res.X)
+	}
+}
+
+// Cancellation must also interrupt a parallel run promptly.
+func TestMinimizeParallelContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired
+	start := time.Now()
+	_, err := MinimizeParallel(func(int) Objective { return rastrigin },
+		[]float64{-5, -5}, []float64{5, 5},
+		Options{MaxFevals: 1_000_000, MaxIters: 1_000_000, Workers: 4, Ctx: ctx})
+	if err == nil {
+		t.Fatal("expired context returned nil error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation took too long")
+	}
+}

@@ -13,6 +13,7 @@ package greedy
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // FitsFunc reports whether `item` can join the items already placed in a
@@ -97,6 +98,66 @@ func MultiResource(loads [][]float64, fits FitsFunc, maxBins int) ([][]int, bool
 		}
 		if ok && (!found || len(bins) < len(best)) {
 			best = bins
+			found = true
+		}
+	}
+	return best, found, nil
+}
+
+// MultiResourceParallel is MultiResource with the per-resource packings run
+// concurrently. Because a FitsFunc usually closes over stateful evaluation
+// scratch, the caller supplies a factory instead of a single function:
+// mkFits(r) is invoked serially, once per resource row r, and each returned
+// FitsFunc is used by exactly one goroutine. Result selection matches
+// MultiResource exactly (fewest bins, earliest resource on ties), so the
+// outcome is identical for every workers value; workers ≤ 1 falls back to
+// the sequential path.
+func MultiResourceParallel(loads [][]float64, mkFits func(resource int) FitsFunc, maxBins, workers int) ([][]int, bool, error) {
+	if mkFits == nil {
+		return nil, false, fmt.Errorf("greedy: nil fits factory")
+	}
+	if len(loads) == 0 {
+		return nil, false, fmt.Errorf("greedy: no resource dimensions")
+	}
+	n := len(loads[0])
+	for r, row := range loads {
+		if len(row) != n {
+			return nil, false, fmt.Errorf("greedy: resource %d has %d items, want %d", r, len(row), n)
+		}
+	}
+	if workers <= 1 || len(loads) == 1 {
+		return MultiResource(loads, mkFits(0), maxBins)
+	}
+
+	type result struct {
+		bins [][]int
+		ok   bool
+		err  error
+	}
+	results := make([]result, len(loads))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for r := range loads {
+		fits := mkFits(r)
+		wg.Add(1)
+		go func(r int, fits FitsFunc) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bins, ok, err := Pack(loads[r], fits, maxBins)
+			results[r] = result{bins, ok, err}
+		}(r, fits)
+	}
+	wg.Wait()
+
+	var best [][]int
+	found := false
+	for _, res := range results {
+		if res.err != nil {
+			return nil, false, res.err
+		}
+		if res.ok && (!found || len(res.bins) < len(best)) {
+			best = res.bins
 			found = true
 		}
 	}

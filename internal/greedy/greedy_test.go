@@ -209,3 +209,62 @@ func TestPropertyBinCountBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// MultiResourceParallel must agree with MultiResource exactly, including
+// tie-breaks, for every worker count.
+func TestMultiResourceParallelMatchesSequential(t *testing.T) {
+	cpu := []float64{0.5, 0.4, 0.3, 0.3, 0.2, 0.2, 0.1, 0.1}
+	ram := []float64{0.2, 0.3, 0.5, 0.1, 0.4, 0.2, 0.3, 0.1}
+	upd := []float64{0.1, 0.1, 0.2, 0.6, 0.1, 0.3, 0.2, 0.2}
+	loads := [][]float64{cpu, ram, upd}
+	fits := func(bin []int, item int) bool {
+		for _, row := range loads {
+			sum := row[item]
+			for _, i := range bin {
+				sum += row[i]
+			}
+			if sum > 1.0 {
+				return false
+			}
+		}
+		return true
+	}
+	seqBins, seqOK, err := MultiResource(loads, fits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		parBins, parOK, err := MultiResourceParallel(loads, func(int) FitsFunc { return fits }, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parOK != seqOK || len(parBins) != len(seqBins) {
+			t.Fatalf("workers=%d: ok=%v bins=%d, want ok=%v bins=%d",
+				workers, parOK, len(parBins), seqOK, len(seqBins))
+		}
+		for b := range seqBins {
+			if len(parBins[b]) != len(seqBins[b]) {
+				t.Errorf("workers=%d: bin %d = %v, want %v", workers, b, parBins[b], seqBins[b])
+				continue
+			}
+			for i := range seqBins[b] {
+				if parBins[b][i] != seqBins[b][i] {
+					t.Errorf("workers=%d: bin %d = %v, want %v", workers, b, parBins[b], seqBins[b])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestMultiResourceParallelValidation(t *testing.T) {
+	if _, _, err := MultiResourceParallel(nil, func(int) FitsFunc { return nil }, 0, 2); err == nil {
+		t.Error("empty loads accepted")
+	}
+	if _, _, err := MultiResourceParallel([][]float64{{1}}, nil, 0, 2); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, _, err := MultiResourceParallel([][]float64{{1, 2}, {1}}, func(int) FitsFunc { return nil }, 0, 2); err == nil {
+		t.Error("ragged loads accepted")
+	}
+}

@@ -27,6 +27,11 @@ var sharedProfile *DiskProfile
 
 func getProfile(t *testing.T) *DiskProfile {
 	t.Helper()
+	if testing.Short() {
+		// The simulated hardware sweep dominates this package's runtime
+		// (~18s); profile-backed assertions run in full mode only.
+		t.Skip("skipping profiler sweep in -short mode")
+	}
 	if sharedProfile == nil {
 		p, err := quickProfiler().Run()
 		if err != nil {

@@ -79,6 +79,9 @@ func TestRAMTooSmallForManyVMs(t *testing.T) {
 }
 
 func TestConsolidatedBeatsHardwareVirtualization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 30s simulated run in -short mode")
+	}
 	// The paper's Figure 10: at 20:1 consolidation, the consolidated DBMS
 	// sustains several times the throughput of one-VM-per-database. The
 	// paper drives TPC-C at maximum speed; 200 tps per tenant is far beyond
@@ -111,6 +114,9 @@ func TestConsolidatedBeatsHardwareVirtualization(t *testing.T) {
 }
 
 func TestOSVirtualizationBetweenExtremes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping three 30s simulated runs in -short mode")
+	}
 	const tenants = 20
 	run := func(mode Mode) float64 {
 		h, err := NewHost(DefaultHostConfig(mode))
@@ -135,6 +141,9 @@ func TestOSVirtualizationBetweenExtremes(t *testing.T) {
 }
 
 func TestSkewedWorkloadConsolidatedAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping long simulated run in -short mode")
+	}
 	// Figure 10 right: 19 throttled databases plus 1 at maximum speed. The
 	// consolidated DBMS gives the hot database the whole machine.
 	mkSpecs := func() []workload.Spec {

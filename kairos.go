@@ -76,10 +76,19 @@ type (
 	Grouping = core.Grouping
 	// PartitionedSolution is the result of ConsolidatePartitioned.
 	PartitionedSolution = core.PartitionedSolution
+	// ShardOptions configures ConsolidateFleet's sharded solver.
+	ShardOptions = core.ShardOptions
 )
 
 // DefaultOptions returns the standard solver budgets.
 func DefaultOptions() SolveOptions { return core.DefaultSolveOptions() }
+
+// ParallelOptions returns the standard solver budgets with one solver
+// worker per available CPU: DIRECT candidate batches evaluate across a
+// worker pool and the machine-count binary search probes speculative K
+// values concurrently. Plans are identical to the sequential solver's —
+// parallelism only changes wall-clock time.
+func ParallelOptions() SolveOptions { return core.ParallelSolveOptions() }
 
 // QuickProfiler returns a reduced hardware sweep that builds a usable disk
 // profile in a few seconds of wall-clock time (the full DefaultProfiler
@@ -125,13 +134,33 @@ func Consolidate(workloads []Workload, machines []Machine, dp *DiskProfile, opt 
 	if err != nil {
 		return nil, err
 	}
+	return newPlan(p, sol)
+}
+
+// ConsolidateFleet solves fleet-scale placement with the sharded engine:
+// workloads are partitioned into correlation-aware shards, every shard is
+// consolidated concurrently, and the per-shard plans are merged by a
+// cross-shard rebalancing and machine-reduction pass. Use it when the
+// instance is too large for Consolidate's single global solve; for a few
+// dozen workloads Consolidate usually finds slightly tighter plans.
+func ConsolidateFleet(workloads []Workload, machines []Machine, dp *DiskProfile, opt ShardOptions) (*Plan, error) {
+	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
+	sol, err := core.SolveSharded(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(p, sol)
+}
+
+// newPlan decorates a solution with per-machine loads and display names.
+func newPlan(p *Problem, sol *Solution) (*Plan, error) {
 	ev, err := core.NewEvaluator(p)
 	if err != nil {
 		return nil, err
 	}
 	names := make([]string, len(sol.Units))
 	for i, u := range sol.Units {
-		names[i] = workloads[u.Workload].Name
+		names[i] = p.Workloads[u.Workload].Name
 		if u.Replica > 0 {
 			names[i] = fmt.Sprintf("%s/r%d", names[i], u.Replica)
 		}

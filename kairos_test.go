@@ -1,6 +1,7 @@
 package kairos
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -16,6 +17,11 @@ var testProfile *DiskProfile
 
 func getProfile(t *testing.T) *DiskProfile {
 	t.Helper()
+	if testing.Short() {
+		// The profiling sweep takes several seconds of simulated hardware
+		// time; profile-backed tests run in full mode only.
+		t.Skip("skipping profiler sweep in -short mode")
+	}
 	if testProfile == nil {
 		pr := QuickProfiler()
 		pr.WSPointsMB = []float64{500, 1500}
@@ -199,6 +205,34 @@ func TestConsolidatePartitionedFacade(t *testing.T) {
 	}
 	if !ps.Feasible || ps.K != 4 {
 		t.Errorf("partitioned: K=%d feasible=%v, want 4 (two per machine)", ps.K, ps.Feasible)
+	}
+}
+
+func TestConsolidateFleetFacade(t *testing.T) {
+	var wls []Workload
+	for i := 0; i < 24; i++ {
+		wls = append(wls, constWL(fmt.Sprintf("db-%02d", i), 0.22, 1, 0))
+	}
+	machines := make([]Machine, 24)
+	for i := range machines {
+		machines[i] = Machine{Name: fmt.Sprintf("m%d", i), CPUCapacity: 1, RAMBytes: 32e9}
+	}
+	plan, err := ConsolidateFleet(wls, machines, nil,
+		ShardOptions{Shards: 3, Options: ParallelOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("fleet plan infeasible")
+	}
+	// 24 workloads at 0.22 CPU ⇒ at least 6 machines; sharding plus the
+	// merge pass must land close to that bound.
+	if plan.K < 6 || plan.K > 8 {
+		t.Errorf("fleet plan uses %d machines, want 6-8", plan.K)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "db-00") {
+		t.Errorf("plan output missing workload names:\n%s", out)
 	}
 }
 
