@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench lint fmt ci
+.PHONY: build test test-full race bench bench-hot lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ race:
 # benchmarks regenerate the paper's evaluation; see bench_test.go.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Hill-climb hot path: candidate-move pricing with the incremental
+# LoadState engine vs the scratch evaluator, with allocation stats. The
+# loadstate case must stay at 0 allocs/op and ≥5x the scratch speed on the
+# 197-server fleet; tracked per PR.
+bench-hot:
+	$(GO) test -bench='LoadState' -benchmem -benchtime=10x -run='^$$' .
 
 lint:
 	$(GO) vet ./...

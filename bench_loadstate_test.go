@@ -1,0 +1,128 @@
+// Benchmarks for the incremental load-state engine: the hill-climb hot
+// path of the Section 6 solver. A full local-search sweep prices every
+// unit against every other machine; the scratch path re-aggregates each
+// candidate machine's members over all T time steps (with four fresh
+// buffers per candidate), while the LoadState path prices each move in
+// O(T) from maintained running sums with zero allocations. The reported
+// speedup metric on the 197-server ALL fleet is the acceptance criterion
+// tracked per PR (target ≥5×); run with -benchmem (make bench-hot) to see
+// the allocation difference.
+package kairos
+
+import (
+	"testing"
+
+	"kairos/internal/core"
+	"kairos/internal/fleet"
+)
+
+// benchSink defeats dead-code elimination of the priced contributions.
+var benchSink float64
+
+// sweepScratch prices one full hill-climb sweep the pre-LoadState way:
+// every candidate machine re-summed from scratch via the canonical pricer.
+func sweepScratch(ev *core.Evaluator, assign []int, members [][]int, K int) float64 {
+	var acc float64
+	for u := range assign {
+		from := assign[u]
+		without := make([]int, 0, len(members[from]))
+		for _, x := range members[from] {
+			if x != u {
+				without = append(without, x)
+			}
+		}
+		cFrom := ev.ServerContrib(from, without)
+		for j := 0; j < K; j++ {
+			if j == from {
+				continue
+			}
+			with := append(append([]int(nil), members[j]...), u)
+			acc += ev.ServerContrib(j, with) - cFrom
+		}
+	}
+	return acc
+}
+
+// sweepLoadState prices the same sweep against the incremental engine.
+func sweepLoadState(ls *core.LoadState, K int) float64 {
+	var acc float64
+	for u := 0; u < ls.NumUnits(); u++ {
+		from := ls.Assign(u)
+		cFrom := ls.PriceRemove(u)
+		for j := 0; j < K; j++ {
+			if j == from {
+				continue
+			}
+			acc += ls.PriceAdd(u, j) - cFrom
+		}
+	}
+	return acc
+}
+
+// BenchmarkLoadStateSweep measures one full hill-climb pricing sweep on
+// the 197-server ALL dataset (197 units × 288 time steps, K at the
+// fractional lower bound), scratch serverEval versus incremental
+// LoadState.
+func BenchmarkLoadStateSweep(b *testing.B) {
+	p := fleetProblem(fleet.All(), nil)
+	ev, err := core.NewEvaluator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nU := ev.NumUnits()
+	K := ev.FractionalLowerBound()
+	assign := make([]int, nU)
+	for u := range assign {
+		assign[u] = u % K
+	}
+	members := make([][]int, K)
+	for u, j := range assign {
+		members[j] = append(members[j], u)
+	}
+
+	var baseline float64
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += sweepScratch(ev, assign, members, K)
+		}
+		baseline = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("loadstate", func(b *testing.B) {
+		b.ReportAllocs()
+		ls := core.NewLoadState(ev, assign, K)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += sweepLoadState(ls, K)
+		}
+		if perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N); baseline > 0 && perOp > 0 {
+			b.ReportMetric(baseline/perOp, "speedup")
+		}
+	})
+}
+
+// BenchmarkLoadStateMovePricing isolates a single candidate-move pricing —
+// the innermost operation of every local-search sweep — so per-move cost
+// and allocations are tracked directly (0 allocs/op is asserted in
+// internal/core's tests as well).
+func BenchmarkLoadStateMovePricing(b *testing.B) {
+	p := fleetProblem(fleet.All(), nil)
+	ev, err := core.NewEvaluator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nU := ev.NumUnits()
+	K := ev.FractionalLowerBound()
+	assign := make([]int, nU)
+	for u := range assign {
+		assign[u] = u % K
+	}
+	ls := core.NewLoadState(ev, assign, K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % nU
+		j := (ls.Assign(u) + 1 + i%(K-1)) % K
+		benchSink += ls.PriceAdd(u, j) - ls.PriceRemove(u)
+	}
+}

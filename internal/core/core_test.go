@@ -74,6 +74,18 @@ func TestValidate(t *testing.T) {
 		{"bad machine", func(p *Problem) { p.Machines[0].CPUCapacity = 0 }},
 		{"bad headroom", func(p *Problem) { p.Machines[0].Headroom = 1 }},
 		{"bad anti-affinity", func(p *Problem) { p.AntiAffinity = [][2]int{{0, 9}} }},
+		// Zero, negative or non-finite capacities would divide into the
+		// objective and poison every comparison with +Inf/NaN.
+		{"negative cpu capacity", func(p *Problem) { p.Machines[0].CPUCapacity = -0.5 }},
+		{"NaN cpu capacity", func(p *Problem) { p.Machines[0].CPUCapacity = math.NaN() }},
+		{"infinite cpu capacity", func(p *Problem) { p.Machines[0].CPUCapacity = math.Inf(1) }},
+		{"zero ram", func(p *Problem) { p.Machines[0].RAMBytes = 0 }},
+		{"negative ram", func(p *Problem) { p.Machines[0].RAMBytes = -1e9 }},
+		{"NaN ram", func(p *Problem) { p.Machines[0].RAMBytes = math.NaN() }},
+		{"NaN headroom", func(p *Problem) { p.Machines[0].Headroom = math.NaN() }},
+		{"negative weight", func(p *Problem) { p.Weights = Weights{CPU: 1, RAM: -1, Disk: 1} }},
+		{"NaN weight", func(p *Problem) { p.Weights = Weights{CPU: math.NaN(), RAM: 1, Disk: 1} }},
+		{"infinite weight", func(p *Problem) { p.Weights = Weights{CPU: math.Inf(1), RAM: 1, Disk: 1} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,6 +98,72 @@ func TestValidate(t *testing.T) {
 				t.Error("invalid problem accepted")
 			}
 		})
+	}
+}
+
+// TestValidateRejectsBadDiskBudget: with a disk model attached, a machine
+// without a positive finite disk write budget must be rejected — serverEval
+// would otherwise divide by it.
+func TestValidateRejectsBadDiskBudget(t *testing.T) {
+	n := 12
+	mk := func(budget float64) *Problem {
+		w := flatWL("a", 0.2, 1, n)
+		w.WSBytes = series.Constant(time.Unix(0, 0), 5*time.Minute, n, 1e9)
+		w.UpdateRate = series.Constant(time.Unix(0, 0), 5*time.Minute, n, 100)
+		ms := machines(2, 1, 8)
+		for i := range ms {
+			ms[i].DiskWriteBps = budget
+		}
+		return &Problem{
+			Workloads: []Workload{w},
+			Machines:  ms,
+			Disk:      syntheticDiskProfile(),
+		}
+	}
+	if err := mk(50e6).Validate(); err != nil {
+		t.Fatalf("valid disk budget rejected: %v", err)
+	}
+	for _, budget := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := mk(budget).Validate(); err == nil {
+			t.Errorf("disk budget %v accepted", budget)
+		}
+	}
+}
+
+// TestEvalReportOutOfRangeAgreement pins the shared policy for assignments
+// outside [0,K): Eval prices them as pin-style violations (penalty,
+// infeasible) while contributing no load, which is exactly the unit Report
+// drops — a plan can never price feasible yet display a missing workload.
+func TestEvalReportOutOfRangeAgreement(t *testing.T) {
+	n := 12
+	p := &Problem{
+		Workloads: []Workload{flatWL("a", 0.2, 1, n), flatWL("b", 0.3, 1, n)},
+		Machines:  machines(2, 1, 8),
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, assign := range [][]int{{0, 5}, {0, -1}} {
+		obj, feas := ev.Eval(assign, 2)
+		if feas {
+			t.Errorf("assignment %v priced feasible", assign)
+		}
+		if obj < penaltyWeight {
+			t.Errorf("assignment %v objective %v below the violation penalty", assign, obj)
+		}
+		report := ev.Report(assign, 2)
+		var totalCPU float64
+		for _, sl := range report {
+			totalCPU += sl.CPUPeak
+		}
+		if math.Abs(totalCPU-0.2) > 1e-9 {
+			t.Errorf("assignment %v: Report places CPU %v, want 0.2 (unit b dropped, like Eval)", assign, totalCPU)
+		}
+	}
+	// In-range assignments stay feasible and unpenalized.
+	if obj, feas := ev.Eval([]int{0, 1}, 2); !feas || obj >= penaltyWeight {
+		t.Errorf("in-range assignment: obj=%v feasible=%v", obj, feas)
 	}
 }
 
@@ -299,6 +377,31 @@ func TestFixedK(t *testing.T) {
 	opt.FixedK = 9
 	if _, err := Solve(p, opt); err == nil {
 		t.Error("FixedK beyond machine count accepted")
+	}
+}
+
+// TestFixedKRejectsOutOfRangePin: a pin at or beyond FixedK can never be
+// honoured; Solve must return an error instead of seeding an out-of-range
+// assignment (which used to crash the local search).
+func TestFixedKRejectsOutOfRangePin(t *testing.T) {
+	n := 12
+	a := flatWL("a", 0.1, 1, n)
+	b := flatWL("b", 0.1, 1, n)
+	b.PinTo = 4
+	p := &Problem{Workloads: []Workload{a, b}, Machines: machines(5, 1, 16)}
+	opt := DefaultSolveOptions()
+	opt.FixedK = 2
+	if _, err := Solve(p, opt); err == nil {
+		t.Error("FixedK below a pinned machine index accepted")
+	}
+	// The pin fits when FixedK covers it.
+	opt.FixedK = 5
+	sol, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Error("pinned FixedK=5 plan infeasible")
 	}
 }
 

@@ -39,15 +39,12 @@ func (s LatencySLA) MaxUtilization() float64 {
 }
 
 // slaCap returns the utilization cap a member set imposes on its machine:
-// the strictest SLA of any member (1 if none declare SLAs).
+// the strictest SLA of any member (1 if none declare SLAs). The per-unit
+// caps are precomputed in NewEvaluator so this stays a flat scan.
 func (ev *Evaluator) slaCap(members []int) float64 {
 	cap := 1.0
 	for _, u := range members {
-		w := &ev.p.Workloads[ev.units[u].w]
-		if w.SLA == nil {
-			continue
-		}
-		if c := w.SLA.MaxUtilization(); c < cap {
+		if c := ev.slaCapU[u]; c < cap {
 			cap = c
 		}
 	}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadState is the incremental load-state engine of the consolidation
+// evaluator (the Section 6 solver's cheap-evaluation discipline): it
+// maintains, for every machine of a K-machine assignment, the running
+// aggregate demand vectors (CPU, RAM, working set and update rate, each
+// length T) together with the machine's canonical objective contribution,
+// so that pricing a candidate move "unit u from machine a to machine b"
+// costs O(T) — one add/remove delta into reusable scratch buffers —
+// instead of re-summing every member's full time series from scratch.
+//
+// Correctness discipline:
+//
+//   - PriceAdd is bit-identical to the canonical scratch pricer
+//     (Evaluator.ServerContrib on the member list plus the candidate),
+//     because the maintained sums are accumulated in member-list order and
+//     the candidate's demand is added on top exactly as accumulateInto
+//     would.
+//   - PriceRemove subtracts the unit's demand from the maintained sums,
+//     which can differ from a canonical re-sum by rounding in the last
+//     ulp. That estimate is only ever used to compare candidate moves
+//     inside one local-search step; it never enters the state.
+//   - Move re-materializes the two touched machines' sums canonically
+//     from their member lists, so rounding drift never accumulates and
+//     Contrib always equals ServerContrib on the same member list, bit
+//     for bit. Final solutions are still priced through Evaluator.Eval.
+//
+// The pricing methods (PriceAdd, PriceRemove, CanPlace) allocate nothing;
+// loadstate_test.go asserts this with testing.AllocsPerRun. A LoadState is
+// not safe for concurrent use; parallel solvers give each goroutine its
+// own (the same rule as Evaluator.Clone).
+type LoadState struct {
+	ev *Evaluator
+	k  int
+
+	// assign[u] is unit u's current machine; members[j] lists machine j's
+	// units in insertion order (significant: sums are accumulated in this
+	// order).
+	assign  []int
+	members [][]int
+
+	// Canonical per-machine running sums, each buffer length T.
+	cpu  [][]float64
+	ram  [][]float64
+	ws   [][]float64
+	rate [][]float64
+
+	// Cached per-machine derived state, kept in lockstep with the sums.
+	contrib   []float64 // canonical objective contribution
+	norm      []float64 // normalized balance load in [0,1]
+	confPairs []int     // anti-affinity pairs currently sharing the machine
+	slaCap    []float64 // strictest member SLA utilization cap (1 = none)
+
+	// Scratch buffers for candidate pricing, reused across calls.
+	sCPU, sRAM, sWS, sRate []float64
+}
+
+// NewLoadState builds the incremental state for an assignment over the
+// first K machines. Every assignment must lie in [0,K) — local search
+// operates strictly on in-range plans (Eval penalizes out-of-range ones).
+// The input slice is copied, never mutated.
+func NewLoadState(ev *Evaluator, assign []int, K int) *LoadState {
+	if len(assign) != len(ev.units) {
+		panic(fmt.Sprintf("core: LoadState assignment has %d units, want %d", len(assign), len(ev.units)))
+	}
+	T := ev.T
+	ls := &LoadState{
+		ev:        ev,
+		k:         K,
+		assign:    append([]int(nil), assign...),
+		members:   make([][]int, K),
+		cpu:       make([][]float64, K),
+		ram:       make([][]float64, K),
+		ws:        make([][]float64, K),
+		rate:      make([][]float64, K),
+		contrib:   make([]float64, K),
+		norm:      make([]float64, K),
+		confPairs: make([]int, K),
+		slaCap:    make([]float64, K),
+		sCPU:      make([]float64, T),
+		sRAM:      make([]float64, T),
+		sWS:       make([]float64, T),
+		sRate:     make([]float64, T),
+	}
+	for u, j := range ls.assign {
+		if j < 0 || j >= K {
+			panic(fmt.Sprintf("core: LoadState unit %d assigned to machine %d outside [0,%d)", u, j, K))
+		}
+		ls.members[j] = append(ls.members[j], u)
+	}
+	for j := 0; j < K; j++ {
+		ls.cpu[j] = make([]float64, T)
+		ls.ram[j] = make([]float64, T)
+		ls.ws[j] = make([]float64, T)
+		ls.rate[j] = make([]float64, T)
+		ls.rematerialize(j)
+	}
+	return ls
+}
+
+// K returns the current machine count (Fold shrinks it).
+func (ls *LoadState) K() int { return ls.k }
+
+// NumUnits returns the number of placement units.
+func (ls *LoadState) NumUnits() int { return len(ls.assign) }
+
+// Assign returns unit u's current machine.
+func (ls *LoadState) Assign(u int) int { return ls.assign[u] }
+
+// Assignment returns a copy of the full current assignment.
+func (ls *LoadState) Assignment() []int { return append([]int(nil), ls.assign...) }
+
+// Members returns machine j's unit list in insertion order. The slice is
+// the live internal state — callers must not mutate or retain it across
+// Move/Fold calls.
+func (ls *LoadState) Members(j int) []int { return ls.members[j] }
+
+// MemberCount returns how many units machine j hosts.
+func (ls *LoadState) MemberCount(j int) int { return len(ls.members[j]) }
+
+// Contrib returns machine j's canonical objective contribution (balance
+// term plus violation and anti-affinity penalties), identical to
+// Evaluator.ServerContrib on the same member list.
+func (ls *LoadState) Contrib(j int) float64 { return ls.contrib[j] }
+
+// NormLoad returns machine j's normalized balance load in [0,1].
+func (ls *LoadState) NormLoad(j int) float64 { return ls.norm[j] }
+
+// rematerialize recomputes machine j's canonical sums and cached state
+// from its member list. Called on the (at most two) machines an accepted
+// move touches, so drift from subtractive pricing never enters the state.
+func (ls *LoadState) rematerialize(j int) {
+	ev := ls.ev
+	members := ls.members[j]
+	ev.accumulateInto(members, ls.cpu[j], ls.ram[j], ls.ws[j], ls.rate[j])
+
+	pairs := 0
+	for ai, a := range members {
+		for _, b := range members[ai+1:] {
+			if ev.conflicted(a, b) {
+				pairs++
+			}
+		}
+	}
+	ls.confPairs[j] = pairs
+
+	cap := ev.slaCap(members)
+	ls.slaCap[j] = cap
+
+	if len(members) == 0 {
+		ls.contrib[j] = 0
+		ls.norm[j] = 0
+		return
+	}
+	_, _, _, viol, norm := ev.evalSums(j, ls.cpu[j], ls.ram[j], ls.ws[j], ls.rate[j], cap)
+	ls.norm[j] = norm
+	ls.contrib[j] = contribWith(norm, viol, pairs)
+}
+
+// contribWith assembles a machine contribution from its pieces using the
+// exact addition sequence of the canonical pricer (ServerContrib adds one
+// penaltyWeight per conflicting pair), so incremental and scratch pricing
+// agree bit for bit.
+func contribWith(norm, viol float64, pairs int) float64 {
+	c := math.Exp(norm) + penaltyWeight*viol
+	for i := 0; i < pairs; i++ {
+		c += penaltyWeight
+	}
+	return c
+}
+
+// conflictsOn counts unit u's anti-affinity conflicts currently assigned
+// to machine j.
+func (ls *LoadState) conflictsOn(u, j int) int {
+	n := 0
+	for _, c := range ls.ev.conflicts[u] {
+		if ls.assign[c] == j {
+			n++
+		}
+	}
+	return n
+}
+
+// fill writes machine j's sums plus unit u's scaled demand into the
+// scratch buffers (sign +1) or minus it (sign -1).
+func (ls *LoadState) fill(u, j int, sign float64) {
+	ev := ls.ev
+	cu, ru, wu, qu := ev.cpu[u], ev.ram[u], ev.ws[u], ev.rate[u]
+	cj, rj, wj, qj := ls.cpu[j], ls.ram[j], ls.ws[j], ls.rate[j]
+	k := sign * ev.scale[u]
+	for t := 0; t < ev.T; t++ {
+		ls.sCPU[t] = cj[t] + k*cu[t]
+		ls.sRAM[t] = rj[t] + k*ru[t]
+		ls.sWS[t] = wj[t] + k*wu[t]
+		ls.sRate[t] = qj[t] + k*qu[t]
+	}
+}
+
+// PriceAdd prices machine j as if unit u were appended to its members:
+// the contribution j would have after accepting the move. When u already
+// lives on j the current contribution is returned unchanged (u is not
+// double-counted). O(T), zero allocations, bit-identical to the canonical
+// scratch pricer.
+func (ls *LoadState) PriceAdd(u, j int) float64 {
+	ev := ls.ev
+	if ls.assign[u] == j {
+		return ls.contrib[j]
+	}
+	ls.fill(u, j, +1)
+	cap := ls.slaCap[j]
+	if c := ev.slaCapU[u]; c < cap {
+		cap = c
+	}
+	_, _, _, viol, norm := ev.evalSums(j, ls.sCPU, ls.sRAM, ls.sWS, ls.sRate, cap)
+	return contribWith(norm, viol, ls.confPairs[j]+ls.conflictsOn(u, j))
+}
+
+// PriceRemove prices unit u's current machine as if u left it. O(T), zero
+// allocations. The subtractive sums can differ from a canonical re-sum in
+// the last ulp; accepted moves re-materialize canonically, so the estimate
+// never persists.
+func (ls *LoadState) PriceRemove(u int) float64 {
+	ev := ls.ev
+	from := ls.assign[u]
+	if len(ls.members[from]) == 1 {
+		return 0 // machine becomes unused
+	}
+	ls.fill(u, from, -1)
+	cap := 1.0
+	for _, m := range ls.members[from] {
+		if m == u {
+			continue
+		}
+		if c := ev.slaCapU[m]; c < cap {
+			cap = c
+		}
+	}
+	_, _, _, viol, norm := ev.evalSums(from, ls.sCPU, ls.sRAM, ls.sWS, ls.sRate, cap)
+	return contribWith(norm, viol, ls.confPairs[from]-ls.conflictsOn(u, from))
+}
+
+// CanPlace reports whether unit u fits on machine j within every resource
+// constraint and without anti-affinity conflicts — the incremental
+// equivalent of Evaluator.FitsOneMachine on members[j]+u (or on the
+// current members when u already lives on j). O(T), zero allocations.
+// Like FitsOneMachine it refuses machines whose existing members already
+// conflict or violate, and it does not check pins.
+func (ls *LoadState) CanPlace(u, j int) bool {
+	ev := ls.ev
+	if ls.assign[u] == j {
+		if ls.confPairs[j] > 0 {
+			return false
+		}
+		_, _, _, viol, _ := ev.evalSums(j, ls.cpu[j], ls.ram[j], ls.ws[j], ls.rate[j], ls.slaCap[j])
+		return viol == 0
+	}
+	if ls.confPairs[j] > 0 || ls.conflictsOn(u, j) > 0 {
+		return false
+	}
+	ls.fill(u, j, +1)
+	cap := ls.slaCap[j]
+	if c := ev.slaCapU[u]; c < cap {
+		cap = c
+	}
+	_, _, _, viol, _ := ev.evalSums(j, ls.sCPU, ls.sRAM, ls.sWS, ls.sRate, cap)
+	return viol == 0
+}
+
+// Move reassigns unit u to machine `to` and re-materializes the two
+// touched machines' canonical sums and contributions. Member order is
+// preserved on the source (u is excised in place) and u is appended on
+// the destination, matching the canonical pricers' ordering.
+func (ls *LoadState) Move(u, to int) {
+	ls.move(u, to, true, true)
+}
+
+// move is Move with per-side re-materialization control: reduceK's trial
+// loop empties one machine in a burst and never prices the shrinking
+// source mid-trial, so it defers the source rebuild (and, on rollback,
+// the destination's) instead of paying O(members·T) per step. A deferred
+// side MUST be re-materialized (or retired via Fold) before it is priced
+// again.
+func (ls *LoadState) move(u, to int, rematSource, rematDest bool) {
+	from := ls.assign[u]
+	if from == to {
+		return
+	}
+	mf := ls.members[from]
+	for i, x := range mf {
+		if x == u {
+			copy(mf[i:], mf[i+1:])
+			ls.members[from] = mf[:len(mf)-1]
+			break
+		}
+	}
+	ls.assign[u] = to
+	ls.members[to] = append(ls.members[to], u)
+	if rematSource {
+		ls.rematerialize(from)
+	}
+	if rematDest {
+		ls.rematerialize(to)
+	}
+}
+
+// Fold removes the empty machine label `to` by relabelling the current
+// last machine (K-1) onto it and shrinking K — the machine-count
+// reduction step for interchangeable machines. Panics if `to` still
+// hosts units. Only `to`'s member list must be current: its cached sums
+// may be stale from deferred moves, since Fold overwrites them with
+// machine K-1's state and retires the dead slot.
+func (ls *LoadState) Fold(to int) {
+	from := ls.k - 1
+	if to != from {
+		if len(ls.members[to]) != 0 {
+			panic(fmt.Sprintf("core: LoadState.Fold target machine %d is not empty", to))
+		}
+		for _, u := range ls.members[from] {
+			ls.assign[u] = to
+		}
+		ls.members[to], ls.members[from] = ls.members[from], ls.members[to]
+		ls.cpu[to], ls.cpu[from] = ls.cpu[from], ls.cpu[to]
+		ls.ram[to], ls.ram[from] = ls.ram[from], ls.ram[to]
+		ls.ws[to], ls.ws[from] = ls.ws[from], ls.ws[to]
+		ls.rate[to], ls.rate[from] = ls.rate[from], ls.rate[to]
+		ls.contrib[to], ls.contrib[from] = ls.contrib[from], 0
+		ls.norm[to], ls.norm[from] = ls.norm[from], 0
+		ls.confPairs[to], ls.confPairs[from] = ls.confPairs[from], 0
+		ls.slaCap[to], ls.slaCap[from] = ls.slaCap[from], 1
+	}
+	ls.k--
+}

@@ -31,6 +31,9 @@ type Evaluator struct {
 	pin []int
 	// conflicts[u] lists units that must not share a machine with u.
 	conflicts [][]int
+	// slaCapU[u] is the utilization cap unit u's latency SLA imposes on its
+	// host machine (1 when the workload declares no SLA).
+	slaCapU []float64
 
 	// Fevals counts full-assignment evaluations.
 	Fevals int
@@ -57,6 +60,7 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 		rate:    make([][]float64, len(units)),
 		scale:   make([]float64, len(units)),
 		pin:     make([]int, len(units)),
+		slaCapU: make([]float64, len(units)),
 	}
 	zero := make([]float64, ev.T)
 	for u, un := range units {
@@ -80,6 +84,10 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 		ev.pin[u] = -1
 		if un.replica == 0 && wl.PinTo >= 0 {
 			ev.pin[u] = wl.PinTo
+		}
+		ev.slaCapU[u] = 1
+		if wl.SLA != nil {
+			ev.slaCapU[u] = wl.SLA.MaxUtilization()
 		}
 	}
 
@@ -148,19 +156,15 @@ type ServerLoad struct {
 	NormLoad float64
 }
 
-// serverEval computes one machine's load, violation and objective
-// contribution given the member unit set.
-func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
-	m := ev.p.Machines[j]
-	sl := ServerLoad{Machine: j, Used: len(members) > 0}
-	if !sl.Used {
-		return sl
-	}
+// accumulateInto zeroes the four sum buffers (each length T) and adds every
+// member's scaled demand series. Member order is significant at the bit
+// level: LoadState re-materializes sums with the same loop so its canonical
+// state matches serverEval exactly.
+func (ev *Evaluator) accumulateInto(members []int, cpuSum, ramSum, wsSum, rateSum []float64) {
 	T := ev.T
-	cpuSum := make([]float64, T)
-	ramSum := make([]float64, T)
-	wsSum := make([]float64, T)
-	rateSum := make([]float64, T)
+	for t := 0; t < T; t++ {
+		cpuSum[t], ramSum[t], wsSum[t], rateSum[t] = 0, 0, 0, 0
+	}
 	for _, u := range members {
 		cu, ru, wu, qu := ev.cpu[u], ev.ram[u], ev.ws[u], ev.rate[u]
 		k := ev.scale[u]
@@ -171,25 +175,32 @@ func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
 			rateSum[t] += k * qu[t]
 		}
 	}
-	var ramPeak float64
+}
+
+// evalSums prices one machine's aggregated demand vectors: resource peaks,
+// the summed relative violation and the normalized balance load. slaCap is
+// the utilization cap the member set imposes (1 when no member declares an
+// SLA). It allocates nothing, so it can run on reusable scratch buffers —
+// the LoadState move-pricing hot path.
+func (ev *Evaluator) evalSums(j int, cpuSum, ramSum, wsSum, rateSum []float64, slaCap float64) (cpuPeak, ramPeak, diskPeak, viol, norm float64) {
+	m := ev.p.Machines[j]
+	T := ev.T
 	for t := 0; t < T; t++ {
-		if cpuSum[t] > sl.CPUPeak {
-			sl.CPUPeak = cpuSum[t]
+		if cpuSum[t] > cpuPeak {
+			cpuPeak = cpuSum[t]
 		}
 		if ramSum[t] > ramPeak {
 			ramPeak = ramSum[t]
 		}
 	}
-	sl.CPU = cpuSum
-	sl.RAMPeak = ramPeak
 
 	cpuCap := m.capacity(m.CPUCapacity)
 	ramCap := m.capacity(m.RAMBytes)
-	if sl.CPUPeak > cpuCap {
-		sl.Violation += (sl.CPUPeak - cpuCap) / cpuCap
+	if cpuPeak > cpuCap {
+		viol += (cpuPeak - cpuCap) / cpuCap
 	}
-	if sl.RAMPeak > ramCap {
-		sl.Violation += (sl.RAMPeak - ramCap) / ramCap
+	if ramPeak > ramCap {
+		viol += (ramPeak - ramCap) / ramCap
 	}
 
 	var diskNorm float64
@@ -197,26 +208,26 @@ func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
 		diskCap := m.capacity(m.DiskWriteBps)
 		for t := 0; t < T; t++ {
 			pred := ev.p.Disk.PredictWriteMBps(wsSum[t], rateSum[t]) * 1e6
-			if pred > sl.DiskPeak {
-				sl.DiskPeak = pred
+			if pred > diskPeak {
+				diskPeak = pred
 			}
 			if ev.p.Disk.HasEnvelope {
 				if maxRate := ev.p.Disk.MaxRowsPerSec(wsSum[t]); rateSum[t] > maxRate && maxRate > 0 {
-					sl.Violation += (rateSum[t] - maxRate) / maxRate / float64(T)
+					viol += (rateSum[t] - maxRate) / maxRate / float64(T)
 				}
 			}
 		}
-		if sl.DiskPeak > diskCap {
-			sl.Violation += (sl.DiskPeak - diskCap) / diskCap
+		if diskPeak > diskCap {
+			viol += (diskPeak - diskCap) / diskCap
 		}
-		diskNorm = sl.DiskPeak / diskCap
+		diskNorm = diskPeak / diskCap
 	}
 
 	// Latency SLAs: the strictest member SLA caps this machine's
 	// utilization; exceeding it is a violation even when raw capacity
 	// would allow more packing.
-	if slaCap := ev.slaCap(members); slaCap < 1 {
-		util := sl.CPUPeak / cpuCap
+	if slaCap < 1 {
+		util := cpuPeak / cpuCap
 		if r := ramPeak / ramCap; r > util {
 			util = r
 		}
@@ -224,7 +235,7 @@ func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
 			util = diskNorm
 		}
 		if util > slaCap {
-			sl.Violation += (util - slaCap) / slaCap
+			viol += (util - slaCap) / slaCap
 		}
 	}
 
@@ -232,13 +243,37 @@ func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
 	// within sane numeric range (the paper normalizes the exponent too).
 	w := ev.weights
 	denom := w.CPU + w.RAM + w.Disk
-	norm := (w.CPU*sl.CPUPeak/cpuCap + w.RAM*ramPeak/ramCap + w.Disk*diskNorm) / denom
+	norm = (w.CPU*cpuPeak/cpuCap + w.RAM*ramPeak/ramCap + w.Disk*diskNorm) / denom
 	if norm > 1 {
 		norm = 1
 	}
 	if norm < 0 {
 		norm = 0
 	}
+	return cpuPeak, ramPeak, diskPeak, viol, norm
+}
+
+// serverEval computes one machine's load, violation and objective
+// contribution given the member unit set, re-aggregating every member's
+// full time series. This is the canonical scratch pricer; LoadState
+// maintains the same sums incrementally for the local-search hot path.
+func (ev *Evaluator) serverEval(j int, members []int) ServerLoad {
+	sl := ServerLoad{Machine: j, Used: len(members) > 0}
+	if !sl.Used {
+		return sl
+	}
+	T := ev.T
+	cpuSum := make([]float64, T)
+	ramSum := make([]float64, T)
+	wsSum := make([]float64, T)
+	rateSum := make([]float64, T)
+	ev.accumulateInto(members, cpuSum, ramSum, wsSum, rateSum)
+	cpuPeak, ramPeak, diskPeak, viol, norm := ev.evalSums(j, cpuSum, ramSum, wsSum, rateSum, ev.slaCap(members))
+	sl.CPU = cpuSum
+	sl.CPUPeak = cpuPeak
+	sl.RAMPeak = ramPeak
+	sl.DiskPeak = diskPeak
+	sl.Violation = viol
 	sl.NormLoad = norm
 	return sl
 }
@@ -252,17 +287,19 @@ func contribution(sl ServerLoad) float64 {
 }
 
 // Eval computes the full objective of an assignment over the first K
-// machines. Assignments outside [0,K) are clamped.
+// machines. An assignment outside [0,K) is a pin-style violation: the unit
+// is priced as unplaced (one penaltyWeight, infeasible) and contributes no
+// load — exactly the units Report and Plan.String drop — so a plan can
+// never price feasible while displaying a missing workload.
 func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 	ev.Fevals++
 	members := make([][]int, K)
 	feasible = true
 	for u, j := range assign {
-		if j < 0 {
-			j = 0
-		}
-		if j >= K {
-			j = K - 1
+		if j < 0 || j >= K {
+			obj += penaltyWeight
+			feasible = false
+			continue
 		}
 		members[j] = append(members[j], u)
 		if ev.pin[u] >= 0 && ev.pin[u] != j {
@@ -313,7 +350,26 @@ func (ev *Evaluator) FitsOneMachine(j int, units []int) bool {
 	return ev.serverEval(j, units).Violation == 0
 }
 
-// Report computes per-machine loads for a final assignment.
+// ServerContrib prices one machine from scratch: the balance and violation
+// contribution of the member set plus anti-affinity penalties, re-summing
+// every member over all T steps. It is the canonical reference pricer —
+// LoadState computes the identical quantity incrementally — and the
+// baseline the load-state benchmarks compare against.
+func (ev *Evaluator) ServerContrib(j int, members []int) float64 {
+	c := contribution(ev.serverEval(j, members))
+	for ai, a := range members {
+		for _, b := range members[ai+1:] {
+			if ev.conflicted(a, b) {
+				c += penaltyWeight
+			}
+		}
+	}
+	return c
+}
+
+// Report computes per-machine loads for a final assignment. Units assigned
+// outside [0,K) are dropped, matching Eval's pricing of them as unplaced
+// violations.
 func (ev *Evaluator) Report(assign []int, K int) []ServerLoad {
 	members := make([][]int, K)
 	for u, j := range assign {

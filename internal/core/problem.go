@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"kairos/internal/model"
@@ -167,15 +168,34 @@ func (p *Problem) Validate() error {
 				i, w.Name, w.SLA.MaxSlowdown)
 		}
 	}
+	// Machine capacities divide the objective's load terms: a zero,
+	// negative, NaN or infinite capacity would turn contributions into
+	// +Inf/NaN and poison every solver comparison, so reject them here
+	// with a clear error. Note `v <= 0` alone would let NaN through —
+	// the checks are phrased so NaN fails too.
 	for j, m := range p.Machines {
-		if m.CPUCapacity <= 0 || m.RAMBytes <= 0 {
-			return fmt.Errorf("core: machine %d (%s) has non-positive capacity", j, m.Name)
+		if !(m.CPUCapacity > 0) || math.IsInf(m.CPUCapacity, 0) {
+			return fmt.Errorf("core: machine %d (%s) CPU capacity %v must be positive and finite", j, m.Name, m.CPUCapacity)
 		}
-		if m.Headroom < 0 || m.Headroom >= 1 {
+		if !(m.RAMBytes > 0) || math.IsInf(m.RAMBytes, 0) {
+			return fmt.Errorf("core: machine %d (%s) RAM capacity %v must be positive and finite", j, m.Name, m.RAMBytes)
+		}
+		if !(m.Headroom >= 0) || m.Headroom >= 1 {
 			return fmt.Errorf("core: machine %d (%s) headroom %v outside [0,1)", j, m.Name, m.Headroom)
 		}
-		if p.Disk != nil && m.DiskWriteBps <= 0 {
-			return fmt.Errorf("core: machine %d (%s) needs a disk budget when a disk model is set", j, m.Name)
+		if p.Disk != nil && (!(m.DiskWriteBps > 0) || math.IsInf(m.DiskWriteBps, 0)) {
+			return fmt.Errorf("core: machine %d (%s) disk write budget %v must be positive and finite when a disk model is set", j, m.Name, m.DiskWriteBps)
+		}
+	}
+	// The balance weights are averaged into the normalized load: negative,
+	// NaN or infinite components (or a non-positive sum) would make the
+	// objective NaN. All-zero weights are fine — they select the defaults.
+	for _, wc := range []struct {
+		name string
+		v    float64
+	}{{"CPU", p.Weights.CPU}, {"RAM", p.Weights.RAM}, {"Disk", p.Weights.Disk}} {
+		if !(wc.v >= 0) || math.IsInf(wc.v, 0) {
+			return fmt.Errorf("core: %s weight %v must be non-negative and finite", wc.name, wc.v)
 		}
 	}
 	for _, pair := range p.AntiAffinity {

@@ -317,26 +317,25 @@ func pearson(a, b []float64) float64 {
 
 // reduceK tries to shrink the machine count of a merged plan: machines are
 // visited lightest-first and each one's units are greedily relocated onto
-// other machines (full multi-resource feasibility check per move); when a
-// machine empties completely, the last machine's label is folded onto it
-// and K drops. Only valid for interchangeable (homogeneous) machines.
+// other machines; when a machine empties completely, the last machine's
+// label is folded onto it and K drops. Relocation feasibility is priced in
+// O(T) against the incremental LoadState (LoadState.CanPlace) instead of
+// re-aggregating every member per candidate (the old FitsOneMachine
+// pattern). Only valid for interchangeable (homogeneous) machines.
 // Deterministic: visit order and placement order are fixed.
 func (ev *Evaluator) reduceK(assign []int, K int) ([]int, int) {
-	cur := append([]int(nil), assign...)
-	for K > 1 {
-		members := make([][]int, K)
-		for u, j := range cur {
-			members[j] = append(members[j], u)
-		}
+	ls := NewLoadState(ev, assign, K)
+	type mload struct {
+		j    int
+		load float64
+	}
+	for ls.K() > 1 {
+		k := ls.K()
 		// Rank machines lightest-first by normalized load (ties: higher
 		// index first, so relabelling disturbs less).
-		type mload struct {
-			j    int
-			load float64
-		}
-		order := make([]mload, K)
-		for j := 0; j < K; j++ {
-			order[j] = mload{j, ev.serverEval(j, members[j]).NormLoad}
+		order := make([]mload, k)
+		for j := 0; j < k; j++ {
+			order[j] = mload{j, ls.NormLoad(j)}
 		}
 		sort.SliceStable(order, func(a, b int) bool {
 			if order[a].load != order[b].load {
@@ -347,28 +346,31 @@ func (ev *Evaluator) reduceK(assign []int, K int) ([]int, int) {
 		reduced := false
 		for _, cand := range order {
 			j := cand.j
-			if len(members[j]) == 0 {
+			if ls.MemberCount(j) == 0 {
 				// Already empty: fold the last machine onto it.
-				relabel(cur, members, K-1, j)
-				K--
+				ls.Fold(j)
 				reduced = true
 				break
 			}
-			// Tentatively relocate every unit of machine j elsewhere.
-			trial := make([][]int, K)
-			copy(trial, members)
+			// Tentatively relocate every unit of machine j elsewhere; the
+			// moves apply to the live state and are rolled back if any unit
+			// fails to place. The shrinking source j is never priced
+			// mid-trial, so its re-materialization is deferred: Fold retires
+			// its state on success, the restore below rebuilds it on
+			// failure. Destinations re-materialize per move — later
+			// CanPlace checks price against them.
+			units := append([]int(nil), ls.Members(j)...)
+			moved := make([]int, 0, len(units))
 			placedAll := true
-			moves := make(map[int]int, len(members[j]))
-			for _, u := range members[j] {
+			for _, u := range units {
 				placed := false
-				for to := 0; to < K && !placed; to++ {
+				for to := 0; to < k && !placed; to++ {
 					if to == j {
 						continue
 					}
-					with := append(append([]int(nil), trial[to]...), u)
-					if ev.FitsOneMachine(to, with) {
-						trial[to] = with
-						moves[u] = to
+					if ls.CanPlace(u, to) {
+						ls.move(u, to, false, true)
+						moved = append(moved, u)
 						placed = true
 					}
 				}
@@ -378,35 +380,32 @@ func (ev *Evaluator) reduceK(assign []int, K int) ([]int, int) {
 				}
 			}
 			if placedAll {
-				for u, to := range moves {
-					cur[u] = to
-				}
-				members = trial
-				members[j] = nil
-				relabel(cur, members, K-1, j)
-				K--
+				ls.Fold(j)
 				reduced = true
 				break
+			}
+			// Roll back with all re-materialization deferred — nothing is
+			// priced mid-rollback — then rebuild each touched machine once:
+			// the trial hosts, and machine j restored to its original member
+			// order so later pricing is bit-identical to the pre-trial
+			// state.
+			dirty := make([]bool, k)
+			for i := len(moved) - 1; i >= 0; i-- {
+				u := moved[i]
+				dirty[ls.Assign(u)] = true
+				ls.move(u, j, false, false)
+			}
+			ls.members[j] = append(ls.members[j][:0], units...)
+			ls.rematerialize(j)
+			for to := 0; to < k; to++ {
+				if dirty[to] {
+					ls.rematerialize(to)
+				}
 			}
 		}
 		if !reduced {
 			break
 		}
 	}
-	return cur, K
-}
-
-// relabel folds machine `from` (the current last label) onto the empty
-// label `to`, keeping the used machines a prefix.
-func relabel(cur []int, members [][]int, from, to int) {
-	if from == to {
-		return
-	}
-	for u, j := range cur {
-		if j == from {
-			cur[u] = to
-		}
-	}
-	members[to] = members[from]
-	members[from] = nil
+	return ls.Assignment(), ls.K()
 }

@@ -95,6 +95,14 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 		if opt.FixedK > maxK {
 			return nil, fmt.Errorf("core: FixedK %d exceeds available machines %d", opt.FixedK, maxK)
 		}
+		// A pin outside [0,FixedK) can never be honoured: every seed would
+		// place the unit out of range. (Probing an infeasible-but-in-range
+		// FixedK is still allowed; it returns Feasible=false.)
+		for u, pin := range ev.pin {
+			if pin >= opt.FixedK {
+				return nil, fmt.Errorf("core: FixedK %d cannot honour workload unit %d pinned to machine %d", opt.FixedK, u, pin)
+			}
+		}
 		assign, objv, feas := ev.solveK(ctx, opt.FixedK, opt, true)
 		return ev.finish(p, assign, opt.FixedK, objv, feas, start), nil
 	}
@@ -320,6 +328,9 @@ func (ev *Evaluator) greedySeed(maxBins, workers int) ([][]int, bool) {
 		loads = append(loads, peak(ev.rate))
 	}
 	fitsFor := func(e *Evaluator) greedy.FitsFunc {
+		// One scratch member list per closure: each greedy worker owns its
+		// evaluator clone and its scratch, so checks stay allocation-light.
+		scratch := make([]int, 0, nU)
 		return func(bin []int, item int) bool {
 			// Pins and conflicts cannot be checked bin-locally against machine
 			// indices, so the greedy seed only enforces resources and
@@ -329,8 +340,8 @@ func (ev *Evaluator) greedySeed(maxBins, workers int) ([][]int, bool) {
 					return false
 				}
 			}
-			members := append(append([]int(nil), bin...), item)
-			sl := e.serverEval(0, members)
+			scratch = append(append(scratch[:0], bin...), item)
+			sl := e.serverEval(0, scratch)
 			return sl.Violation == 0
 		}
 	}
@@ -463,90 +474,52 @@ func (ev *Evaluator) solveK(ctx context.Context, K int, opt SolveOptions, polish
 	return best.assign, best.obj, best.feas
 }
 
-// serverContrib prices one machine: balance term plus resource and
-// anti-affinity penalties for the given member set.
-func (ev *Evaluator) serverContrib(j int, members []int) float64 {
-	sl := ev.serverEval(j, members)
-	c := contribution(sl)
-	for ai, a := range members {
-		for _, b := range members[ai+1:] {
-			if ev.conflicted(a, b) {
-				c += penaltyWeight
-			}
-		}
-	}
-	return c
-}
-
 // hillClimb is deterministic best-improvement local search with single-unit
-// moves — the "polishing" phase of Section 6. Only the two machines touched
-// by a move are re-priced, so a full sweep costs O(U·K·units-per-server·T)
-// rather than O(U²·K·T).
+// moves — the "polishing" phase of Section 6. Candidate moves are priced in
+// O(T) against the incremental LoadState, so a full sweep costs O(U·K·T)
+// instead of the O(U·K·units-per-server·T) a scratch re-aggregation needs.
 func (ev *Evaluator) hillClimb(ctx context.Context, assign []int, K int) ([]int, float64, bool) {
 	return ev.hillClimbRounds(ctx, assign, K, 100)
 }
 
 // hillClimbRounds is hillClimb with an explicit sweep budget (the sharded
-// solver's cross-shard rebalance pass uses a small one).
+// solver's cross-shard rebalance pass uses a small one). Accepted moves
+// re-materialize the touched machines' sums canonically inside LoadState,
+// and the final plan is re-priced through the canonical Eval, so the
+// incremental pricing never drifts into the result.
 func (ev *Evaluator) hillClimbRounds(ctx context.Context, assign []int, K int, maxRounds int) ([]int, float64, bool) {
-	cur := append([]int(nil), assign...)
-	members := make([][]int, K)
-	for u, j := range cur {
-		members[j] = append(members[j], u)
-	}
-	contrib := make([]float64, K)
-	for j := 0; j < K; j++ {
-		contrib[j] = ev.serverContrib(j, members[j])
-	}
-
-	without := func(list []int, u int) []int {
-		out := make([]int, 0, len(list)-1)
-		for _, x := range list {
-			if x != u {
-				out = append(out, x)
-			}
-		}
-		return out
-	}
-
+	ls := NewLoadState(ev, assign, K)
 	improved := true
 	for rounds := 0; improved && rounds < maxRounds && ctx.Err() == nil; rounds++ {
 		improved = false
-		for u := 0; u < len(cur); u++ {
+		for u := 0; u < ls.NumUnits(); u++ {
 			if ev.pin[u] >= 0 {
 				continue
 			}
-			from := cur[u]
-			fromWithout := without(members[from], u)
-			cFromNew := ev.serverContrib(from, fromWithout)
+			from := ls.Assign(u)
+			cFromNew := ls.PriceRemove(u)
 			bestJ := from
 			bestDelta := -1e-9 // strict improvement required
-			var bestCTo float64
 			for j := 0; j < K; j++ {
 				if j == from {
 					continue
 				}
 				ev.Fevals++
-				toWith := append(append([]int(nil), members[j]...), u)
-				cToNew := ev.serverContrib(j, toWith)
-				delta := (cFromNew + cToNew) - (contrib[from] + contrib[j])
+				cToNew := ls.PriceAdd(u, j)
+				delta := (cFromNew + cToNew) - (ls.Contrib(from) + ls.Contrib(j))
 				if delta < bestDelta {
 					bestDelta = delta
 					bestJ = j
-					bestCTo = cToNew
 				}
 			}
 			if bestJ != from {
-				members[from] = fromWithout
-				members[bestJ] = append(members[bestJ], u)
-				contrib[from] = cFromNew
-				contrib[bestJ] = bestCTo
-				cur[u] = bestJ
+				ls.Move(u, bestJ)
 				improved = true
 			}
 		}
 	}
 	// Canonical final pricing through Eval keeps all callers consistent.
+	cur := ls.Assignment()
 	obj, feas := ev.Eval(cur, K)
 	return cur, obj, feas
 }

@@ -83,23 +83,29 @@ func ReadCSV(r io.Reader, name string) (Fleet, error) {
 		}
 		row++
 		name := rec[0]
+		cores, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return Fleet{}, fmt.Errorf("fleet: row %d: bad cores %q", row, rec[1])
+		}
+		clock, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return Fleet{}, fmt.Errorf("fleet: row %d: bad clock %q", row, rec[2])
+		}
+		ram, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil {
+			return Fleet{}, fmt.Errorf("fleet: row %d: bad ram %q", row, rec[3])
+		}
 		a, ok := byServer[name]
 		if !ok {
-			cores, err := strconv.Atoi(rec[1])
-			if err != nil {
-				return Fleet{}, fmt.Errorf("fleet: row %d: bad cores %q", row, rec[1])
-			}
-			clock, err := strconv.ParseFloat(rec[2], 64)
-			if err != nil {
-				return Fleet{}, fmt.Errorf("fleet: row %d: bad clock %q", row, rec[2])
-			}
-			ram, err := strconv.ParseInt(rec[3], 10, 64)
-			if err != nil {
-				return Fleet{}, fmt.Errorf("fleet: row %d: bad ram %q", row, rec[3])
-			}
 			a = &acc{cores: cores, clock: clock, ram: ram, firstRow: row}
 			byServer[name] = a
 			order = append(order, name)
+		} else if a.cores != cores || a.clock != clock || a.ram != ram {
+			// Metadata must be constant per server: silently keeping the
+			// first row's values would hide corrupted or mis-merged traces.
+			return Fleet{}, fmt.Errorf(
+				"fleet: row %d: server %q metadata (cores=%d clock=%g ram=%d) conflicts with row %d (cores=%d clock=%g ram=%d)",
+				row, name, cores, clock, ram, a.firstRow, a.cores, a.clock, a.ram)
 		}
 		vals := make([]float64, 3)
 		for i, col := range []int{5, 6, 7} {

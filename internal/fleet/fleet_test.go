@@ -249,6 +249,14 @@ func TestReadCSVErrors(t *testing.T) {
 		{"bad value", "server,cores,clock_ghz,ram_bytes,sample,cpu_util,ws_bytes,updates_per_sec\nx,4,3,1,0,NOPE,100,1\n"},
 		{"ragged", "server,cores,clock_ghz,ram_bytes,sample,cpu_util,ws_bytes,updates_per_sec\n" +
 			"x,4,3,1,0,0.5,100,1\nx,4,3,1,1,0.5,100,1\ny,4,3,1,0,0.5,100,1\n"},
+		// Per-server metadata must be constant: conflicting later rows are
+		// corruption, not something to silently ignore.
+		{"cores conflict", "server,cores,clock_ghz,ram_bytes,sample,cpu_util,ws_bytes,updates_per_sec\n" +
+			"x,4,3,1,0,0.5,100,1\nx,8,3,1,1,0.5,100,1\n"},
+		{"clock conflict", "server,cores,clock_ghz,ram_bytes,sample,cpu_util,ws_bytes,updates_per_sec\n" +
+			"x,4,3,1,0,0.5,100,1\nx,4,2.5,1,1,0.5,100,1\n"},
+		{"ram conflict", "server,cores,clock_ghz,ram_bytes,sample,cpu_util,ws_bytes,updates_per_sec\n" +
+			"x,4,3,1,0,0.5,100,1\nx,4,3,2,1,0.5,100,1\n"},
 	}
 	for _, tc := range cases {
 		if _, err := ReadCSV(strings.NewReader(tc.data), "t"); err == nil {

@@ -71,13 +71,27 @@ func basis2D(x, y float64, degree int, out []float64) {
 	}
 }
 
-// Eval evaluates the polynomial at (x, y).
+// Eval evaluates the polynomial at (x, y). It walks the monomials in basis
+// order without materializing them and builds each power by repeated
+// multiplication, so evaluation allocates nothing and avoids math.Pow —
+// it sits in the consolidation evaluator's per-time-step disk pricing
+// loop. For the degree ≤ 2 fits the disk profiles use, the terms are
+// bit-identical to the math.Pow basis the fit was computed with.
 func (p Poly2D) Eval(x, y float64) float64 {
-	basis := make([]float64, NumTerms2D(p.Degree))
-	basis2D(x, y, p.Degree, basis)
 	var v float64
-	for i, c := range p.Coeffs {
-		v += c * basis[i]
+	i := 0
+	for total := 0; total <= p.Degree && i < len(p.Coeffs); total++ {
+		for px := total; px >= 0 && i < len(p.Coeffs); px-- {
+			term := 1.0
+			for k := 0; k < px; k++ {
+				term *= x
+			}
+			for k := 0; k < total-px; k++ {
+				term *= y
+			}
+			v += p.Coeffs[i] * term
+			i++
+		}
 	}
 	return v
 }

@@ -57,6 +57,8 @@ type (
 	Problem = core.Problem
 	// Solution is the computed assignment.
 	Solution = core.Solution
+	// UnitRef names one placement unit of a Solution (workload, replica).
+	UnitRef = core.UnitRef
 	// SolveOptions tunes the solver budgets.
 	SolveOptions = core.SolveOptions
 	// DiskProfile is the empirical disk model of a target configuration.
@@ -178,9 +180,12 @@ func (p *Plan) String() string {
 	fmt.Fprintf(&b, "consolidation plan: %d workloads -> %d machines (feasible=%v, %.1fs solve)\n",
 		len(p.Names), p.K, p.Feasible, p.Elapsed.Seconds())
 	byMachine := make([][]string, p.K)
+	var unassigned []string
 	for u, j := range p.Assign {
 		if j >= 0 && j < p.K {
 			byMachine[j] = append(byMachine[j], p.Names[u])
+		} else {
+			unassigned = append(unassigned, p.Names[u])
 		}
 	}
 	for j, names := range byMachine {
@@ -196,6 +201,12 @@ func (p *Plan) String() string {
 				sl.CPUPeak*100, sl.RAMPeak/1e9, sl.DiskPeak/1e6)
 		}
 		fmt.Fprintf(&b, "  machine %d%s: %s\n", j, load, strings.Join(names, ", "))
+	}
+	// Units assigned outside [0,K) are priced as violations by Eval; show
+	// them rather than letting a workload silently vanish from the table.
+	if len(unassigned) > 0 {
+		sort.Strings(unassigned)
+		fmt.Fprintf(&b, "  UNASSIGNED (out-of-range, plan infeasible): %s\n", strings.Join(unassigned, ", "))
 	}
 	return b.String()
 }

@@ -252,3 +252,24 @@ func TestSLAThroughFacade(t *testing.T) {
 		t.Errorf("SLA plan: K=%d feasible=%v, want 2", plan.K, plan.Feasible)
 	}
 }
+
+// TestPlanStringShowsUnassigned: a unit assigned outside [0,K) is priced as
+// a violation by Eval and dropped by Report; the rendered plan must surface
+// it instead of letting the workload silently vanish from the table.
+func TestPlanStringShowsUnassigned(t *testing.T) {
+	p := &Plan{
+		Solution: &Solution{
+			Assign: []int{0, 7},
+			Units:  []UnitRef{{Workload: 0}, {Workload: 1}},
+			K:      2,
+		},
+		Names: []string{"alpha", "beta"},
+	}
+	out := p.String()
+	if !strings.Contains(out, "UNASSIGNED") || !strings.Contains(out, "beta") {
+		t.Errorf("plan output hides the out-of-range workload:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") {
+		t.Errorf("plan output missing the placed workload:\n%s", out)
+	}
+}
