@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-hot lint fmt ci
+.PHONY: build test test-full race bench bench-hot bench-resolve lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ bench:
 # 197-server fleet; tracked per PR.
 bench-hot:
 	$(GO) test -bench='LoadState' -benchmem -benchtime=10x -run='^$$' .
+
+# Rolling re-consolidation: warm-started Resolve on the drifted 197-server
+# fleet vs a cold solve, plus the memoized disk-envelope pricing sweep.
+# Tracked metrics: warm fevals well under cold's, migrated-frac in the low
+# percent, and 0 allocs/op on the envelope sweep.
+bench-resolve:
+	$(GO) test -bench='ResolveWarmVsCold|SweepEnvelope' -benchmem -benchtime=1x -run='^$$' .
 
 lint:
 	$(GO) vet ./...

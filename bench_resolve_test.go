@@ -1,0 +1,122 @@
+// Benchmarks for rolling re-consolidation: warm-started re-solves on a
+// drifted 197-server fleet versus solving cold, plus the memoized
+// disk-envelope pricing hot path. `make bench-resolve` runs these with
+// allocation stats; the warm/cold feval and migration metrics are the
+// acceptance numbers tracked per PR.
+package kairos
+
+import (
+	"math/rand"
+	"testing"
+
+	"kairos/internal/core"
+	"kairos/internal/fleet"
+	"kairos/internal/model"
+	"kairos/internal/polyfit"
+)
+
+// driftFleet returns a copy of the workloads with every series scaled by a
+// deterministic per-workload factor in [1-frac, 1+frac] — one week of
+// drift between consolidation runs.
+func driftFleet(wls []core.Workload, frac float64, seed int64) []core.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Workload, len(wls))
+	for i, w := range wls {
+		f := 1 + (rng.Float64()*2-1)*frac
+		out[i] = w
+		out[i].CPU = w.CPU.Scale(f).Clamp(0, 1)
+		out[i].RAMBytes = w.RAMBytes.Scale(f)
+		if w.WSBytes != nil {
+			out[i].WSBytes = w.WSBytes.Scale(f)
+		}
+		if w.UpdateRate != nil {
+			out[i].UpdateRate = w.UpdateRate.Scale(f)
+		}
+	}
+	return out
+}
+
+// BenchmarkResolveWarmVsCold is the rolling re-consolidation scenario on
+// the 197-server ALL fleet: consolidate once, drift every workload by ≤5%,
+// then re-consolidate cold (fresh local-search solve) versus warm
+// (Resolve from the incumbent plan). The warm case reports how many units
+// migrated; both report objective evaluations — the cost metric that makes
+// warm re-solves viable on a cadence.
+func BenchmarkResolveWarmVsCold(b *testing.B) {
+	base := fleetProblem(fleet.All(), nil)
+	opt := core.DefaultSolveOptions()
+	opt.SkipDirect = true // fleet-scale solves use the local-search path
+	prev, err := core.Solve(base, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc := core.IncumbentFromSolution(base, prev)
+	drifted := &core.Problem{
+		Workloads: driftFleet(base.Workloads, 0.05, 7),
+		Machines:  base.Machines,
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(drifted, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sol.Fevals), "fevals")
+			b.ReportMetric(float64(sol.K), "machines")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		ropt := core.DefaultResolveOptions()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Resolve(drifted, inc, ropt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sol.Fevals), "fevals")
+			b.ReportMetric(float64(sol.K), "machines")
+			b.ReportMetric(float64(sol.Migrated)/float64(len(sol.Assign)), "migrated-frac")
+		}
+	})
+}
+
+// benchSyntheticDiskProfile hand-writes a disk model with a saturation
+// envelope so the envelope-pricing hot path runs without a profiler sweep.
+func benchSyntheticDiskProfile() *model.DiskProfile {
+	return &model.DiskProfile{
+		Fit:         polyfit.Poly2D{Degree: 2, Coeffs: []float64{0.5, 0.002, 0.003, 0, 0, 0}},
+		Envelope:    polyfit.Poly1D{Coeffs: []float64{60000, -0.9}},
+		HasEnvelope: true,
+		WSMinMB:     100,
+		WSMaxMB:     100000,
+	}
+}
+
+// BenchmarkLoadStateSweepEnvelope measures a full hill-climb pricing sweep
+// with the non-linear disk model and its saturation envelope enabled — the
+// path where every candidate move used to re-evaluate the envelope
+// polynomial per time step for both machines. The per-evaluator memo
+// serves repeat working sets from a direct-mapped cache (bit-identical to
+// the polynomial), and pricing stays allocation-free.
+func BenchmarkLoadStateSweepEnvelope(b *testing.B) {
+	f := fleet.All()
+	p := fleetProblem(f, benchSyntheticDiskProfile())
+	ev, err := core.NewEvaluator(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nU := ev.NumUnits()
+	K := ev.FractionalLowerBound()
+	assign := make([]int, nU)
+	for u := range assign {
+		assign[u] = u % K
+	}
+	ls := core.NewLoadState(ev, assign, K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += sweepLoadState(ls, K)
+	}
+}

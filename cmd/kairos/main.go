@@ -176,8 +176,15 @@ func cmdConsolidate(args []string) error {
 	verbose := fs.Bool("v", false, "print the full placement")
 	parallel := fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)")
 	shards := fs.Int("shards", 0, "split the fleet into this many correlation-aware shards solved concurrently (0 = single global solve)")
+	savePlan := fs.String("save-plan", "", "write the computed plan to this JSON file for later -resolve runs")
+	resolvePath := fs.String("resolve", "", "warm-start from a plan saved with -save-plan instead of solving cold (rolling re-consolidation)")
+	migWeight := fs.Float64("mig-weight", 0.05, "with -resolve: migration cost per average-working-set unit moved off its incumbent machine (0 = free migrations)")
+	maxMig := fs.Int("max-migrations", 0, "with -resolve: cap on units moved off their incumbent machine (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resolvePath != "" && *shards > 0 {
+		return fmt.Errorf("-resolve and -shards are mutually exclusive (warm re-solves polish globally)")
 	}
 	var f fleet.Fleet
 	var err error
@@ -211,10 +218,19 @@ func cmdConsolidate(args []string) error {
 		opt.Workers = *parallel
 	}
 	var plan *kairos.Plan
-	if *shards > 0 {
+	switch {
+	case *resolvePath != "":
+		inc, rerr := loadIncumbent(*resolvePath)
+		if rerr != nil {
+			return rerr
+		}
+		opt.MigrationWeight = *migWeight
+		opt.MaxMigrations = *maxMig
+		plan, err = kairos.Reconsolidate(wls, machines, dp, inc, opt)
+	case *shards > 0:
 		plan, err = kairos.ConsolidateFleet(wls, machines, dp,
 			kairos.ShardOptions{Shards: *shards, Options: opt})
-	} else {
+	default:
 		plan, err = kairos.Consolidate(wls, machines, dp, opt)
 	}
 	if err != nil {
@@ -223,10 +239,43 @@ func cmdConsolidate(args []string) error {
 	fmt.Printf("%s: %d servers -> %d machines (%.1f:1), feasible=%v, solved in %v\n",
 		f.Name, len(f.Servers), plan.K, plan.ConsolidationRatio(len(f.Servers)),
 		plan.Feasible, plan.Elapsed.Round(time.Millisecond))
+	if *resolvePath != "" {
+		fmt.Printf("warm re-solve: %d/%d units migrated (migration cost %.3f, %d fevals)\n",
+			plan.Migrated, len(plan.Assign), plan.MigrationCost, plan.Fevals)
+	}
+	if *savePlan != "" {
+		if err := writeIncumbent(*savePlan, plan); err != nil {
+			return err
+		}
+		fmt.Printf("wrote plan to %s (re-solve later with -resolve %s)\n", *savePlan, *savePlan)
+	}
 	if *verbose {
 		fmt.Print(plan)
 	}
 	return nil
+}
+
+// loadIncumbent reads a plan saved with -save-plan.
+func loadIncumbent(path string) (*kairos.Incumbent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadIncumbent(f)
+}
+
+// writeIncumbent saves a computed plan for later -resolve runs.
+func writeIncumbent(path string, plan *kairos.Plan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := plan.Incumbent().Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdReport(args []string) error {

@@ -186,6 +186,19 @@ func (ls *LoadState) conflictsOn(u, j int) int {
 	return n
 }
 
+// conflictsOnExcluding counts unit u's anti-affinity conflicts currently on
+// machine j, ignoring unit excl (used by swap pricing, where excl is about
+// to leave j).
+func (ls *LoadState) conflictsOnExcluding(u, j, excl int) int {
+	n := 0
+	for _, c := range ls.ev.conflicts[u] {
+		if c != excl && ls.assign[c] == j {
+			n++
+		}
+	}
+	return n
+}
+
 // fill writes machine j's sums plus unit u's scaled demand into the
 // scratch buffers (sign +1) or minus it (sign -1).
 func (ls *LoadState) fill(u, j int, sign float64) {
@@ -269,6 +282,80 @@ func (ls *LoadState) CanPlace(u, j int) bool {
 	}
 	_, _, _, viol, _ := ev.evalSums(j, ls.sCPU, ls.sRAM, ls.sWS, ls.sRate, cap)
 	return viol == 0
+}
+
+// fillExchange writes machine j's sums minus member `out`'s scaled demand
+// plus unit `in`'s into the scratch buffers — the aggregate j would carry
+// after a 2-exchange.
+func (ls *LoadState) fillExchange(j, out, in int) {
+	ev := ls.ev
+	co, ro, wo, qo := ev.cpu[out], ev.ram[out], ev.ws[out], ev.rate[out]
+	ci, ri, wi, qi := ev.cpu[in], ev.ram[in], ev.ws[in], ev.rate[in]
+	cj, rj, wj, qj := ls.cpu[j], ls.ram[j], ls.ws[j], ls.rate[j]
+	ko, ki := ev.scale[out], ev.scale[in]
+	for t := 0; t < ev.T; t++ {
+		ls.sCPU[t] = cj[t] - ko*co[t] + ki*ci[t]
+		ls.sRAM[t] = rj[t] - ko*ro[t] + ki*ri[t]
+		ls.sWS[t] = wj[t] - ko*wo[t] + ki*wi[t]
+		ls.sRate[t] = qj[t] - ko*qo[t] + ki*qi[t]
+	}
+}
+
+// priceExchange prices machine j as if its member `out` left and unit `in`
+// (currently hosted elsewhere) took its place: the contribution j would have
+// after the exchange. O(T), zero allocations. Like PriceRemove the
+// subtractive half can differ from a canonical re-sum in the last ulp;
+// Swap re-materializes canonically, so the estimate never enters the state.
+func (ls *LoadState) priceExchange(j, out, in int) float64 {
+	ev := ls.ev
+	ls.fillExchange(j, out, in)
+	cap := 1.0
+	for _, m := range ls.members[j] {
+		if m == out {
+			continue
+		}
+		if c := ev.slaCapU[m]; c < cap {
+			cap = c
+		}
+	}
+	if c := ev.slaCapU[in]; c < cap {
+		cap = c
+	}
+	pairs := ls.confPairs[j] - ls.conflictsOn(out, j) + ls.conflictsOnExcluding(in, j, out)
+	_, _, _, viol, norm := ev.evalSums(j, ls.sCPU, ls.sRAM, ls.sWS, ls.sRate, cap)
+	return contribWith(norm, viol, pairs)
+}
+
+// PriceSwap prices the 2-exchange of units u and v, which must live on
+// different machines: the contributions u's machine would have after
+// swapping u out for v, and v's machine after swapping v out for u. Each
+// side is one O(T) delta pass over the maintained sums, so a swap costs two
+// move pricings instead of a re-aggregation of both machines — the property
+// that makes 2-exchange sweeps affordable inside the hill climb.
+func (ls *LoadState) PriceSwap(u, v int) (newU, newV float64) {
+	a, b := ls.assign[u], ls.assign[v]
+	if a == b {
+		panic(fmt.Sprintf("core: LoadState.PriceSwap units %d and %d share machine %d", u, v, a))
+	}
+	newU = ls.priceExchange(a, u, v)
+	newV = ls.priceExchange(b, v, u)
+	return newU, newV
+}
+
+// Swap exchanges units u and v between their (distinct) machines and
+// re-materializes both canonically. Each side keeps member order: the
+// departing unit is excised in place and the arriving unit appended —
+// exactly the member lists PriceSwap priced, so post-swap Contrib matches
+// the canonical pricer bit for bit.
+func (ls *LoadState) Swap(u, v int) {
+	a, b := ls.assign[u], ls.assign[v]
+	if a == b {
+		panic(fmt.Sprintf("core: LoadState.Swap units %d and %d share machine %d", u, v, a))
+	}
+	ls.move(u, b, false, false)
+	ls.move(v, a, false, false)
+	ls.rematerialize(a)
+	ls.rematerialize(b)
 }
 
 // Move reassigns unit u to machine `to` and re-materializes the two

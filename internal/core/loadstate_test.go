@@ -313,3 +313,203 @@ func TestLoadStateMoveKeepsAssignInvariant(t *testing.T) {
 		t.Fatalf("member lists cover %d units, want %d", counts, nU)
 	}
 }
+
+// membersExchanged returns a copy of machine j's member list with `out`
+// excised in place and `in` appended — the canonical member list PriceSwap
+// prices and Swap produces.
+func membersExchanged(ls *LoadState, j, out, in int) []int {
+	var cp []int
+	for _, m := range ls.Members(j) {
+		if m != out {
+			cp = append(cp, m)
+		}
+	}
+	return append(cp, in)
+}
+
+// TestLoadStateSwapMatchesCanonicalPricing drives randomized 2-exchange
+// pricing against the canonical scratch evaluator: PriceSwap must agree
+// with ServerContrib on the exchanged member lists (within rounding — both
+// sides are subtractive, the same discipline as PriceRemove), and applying
+// the swap must leave the state bit-identical to the canonical pricer. A
+// full Eval on the swapped assignment must agree with the pre-priced
+// machine contributions too. Runs under -race in CI.
+func TestLoadStateSwapMatchesCanonicalPricing(t *testing.T) {
+	for _, withDisk := range []bool{false, true} {
+		name := "cpu+ram"
+		if withDisk {
+			name = "with-disk-model"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			trials := 4
+			ops := 150
+			if testing.Short() {
+				trials, ops = 2, 50
+			}
+			for trial := 0; trial < trials; trial++ {
+				p := randomLoadStateProblem(rng, 8+rng.Intn(6), 24, withDisk)
+				ev, err := NewEvaluator(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nU := ev.NumUnits()
+				K := 4 + rng.Intn(3)
+				assign := make([]int, nU)
+				for u := range assign {
+					assign[u] = rng.Intn(K)
+				}
+				ls := NewLoadState(ev, assign, K)
+				for op := 0; op < ops; op++ {
+					u := rng.Intn(nU)
+					v := rng.Intn(nU)
+					if u == v || ls.Assign(u) == ls.Assign(v) {
+						continue
+					}
+					a, b := ls.Assign(u), ls.Assign(v)
+					gotU, gotV := ls.PriceSwap(u, v)
+					wantU := ev.ServerContrib(a, membersExchanged(ls, a, u, v))
+					wantV := ev.ServerContrib(b, membersExchanged(ls, b, v, u))
+					if !relClose(gotU, wantU, 1e-9) || !relClose(gotV, wantV, 1e-9) {
+						t.Fatalf("trial %d op %d: PriceSwap(%d,%d) = (%v,%v), canonical (%v,%v)",
+							trial, op, u, v, gotU, gotV, wantU, wantV)
+					}
+					if op%3 == 0 {
+						ls.Swap(u, v)
+						if ls.Assign(u) != b || ls.Assign(v) != a {
+							t.Fatalf("trial %d op %d: swap left units on (%d,%d), want (%d,%d)",
+								trial, op, ls.Assign(u), ls.Assign(v), b, a)
+						}
+						// Post-swap state is canonical bit for bit.
+						if got, want := ls.Contrib(a), ev.ServerContrib(a, append([]int(nil), ls.Members(a)...)); got != want {
+							t.Fatalf("trial %d op %d: post-swap contrib(a) = %v, canonical %v", trial, op, got, want)
+						}
+						if got, want := ls.Contrib(b), ev.ServerContrib(b, append([]int(nil), ls.Members(b)...)); got != want {
+							t.Fatalf("trial %d op %d: post-swap contrib(b) = %v, canonical %v", trial, op, got, want)
+						}
+					}
+				}
+				checkCanonical(t, ev, ls)
+				// The priced-and-applied assignment round-trips through the
+				// canonical Eval: feasibility and objective come from the
+				// same sums the swaps maintained.
+				if obj, _ := ev.Eval(ls.Assignment(), K); math.IsNaN(obj) {
+					t.Fatal("swapped assignment prices to NaN")
+				}
+			}
+		})
+	}
+}
+
+// TestLoadStateSwapPricingAllocationFree extends the zero-allocation
+// guarantee to 2-exchange pricing — a swap sweep prices O(U²) candidates
+// and must generate no garbage.
+func TestLoadStateSwapPricingAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(17))
+	p := randomLoadStateProblem(rng, 10, 36, true)
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nU := ev.NumUnits()
+	K := 5
+	assign := make([]int, nU)
+	for u := range assign {
+		assign[u] = u % K
+	}
+	ls := NewLoadState(ev, assign, K)
+	u, v := 0, 1
+	for ls.Assign(u) == ls.Assign(v) {
+		v++
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		a, b := ls.PriceSwap(u, v)
+		sink += a + b
+	})
+	if allocs != 0 {
+		t.Errorf("swap pricing allocates %v objects per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestEnvMaxMemoBitIdentical verifies the envelope memo returns exactly
+// what the polynomial would, on both the miss and the hit path, so
+// memoization can never perturb pricing.
+func TestEnvMaxMemoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomLoadStateProblem(rng, 6, 12, true)
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.envKeys == nil {
+		t.Fatal("envelope memo not built for a profile with an envelope")
+	}
+	for i := 0; i < 5000; i++ {
+		ws := rng.Float64() * 2e10
+		want := p.Disk.MaxRowsPerSec(ws)
+		if got := ev.envMax(ws); got != want {
+			t.Fatalf("envMax(%v) miss = %v, want %v", ws, got, want)
+		}
+		if got := ev.envMax(ws); got != want {
+			t.Fatalf("envMax(%v) hit = %v, want %v", ws, got, want)
+		}
+	}
+	// Clones own their memo: mutating the clone's must not touch ours.
+	c := ev.Clone()
+	if &c.envKeys[0] == &ev.envKeys[0] {
+		t.Fatal("Clone shares the envelope memo — parallel solvers would race")
+	}
+}
+
+// TestEnvelopeViolationBoundary pins the aligned boundary semantics inside
+// the objective: with the envelope clamped to 0 at a huge working set, an
+// idle machine (rate 0) is feasible, and any positive rate is a violation —
+// the old `maxRate > 0` guard silently skipped that check.
+func TestEnvelopeViolationBoundary(t *testing.T) {
+	start := time.Unix(0, 0)
+	step := 5 * time.Minute
+	T := 4
+	mk := func(rate float64) *Problem {
+		w := Workload{
+			Name:       "w0",
+			CPU:        series.Constant(start, step, T, 0.1),
+			RAMBytes:   series.Constant(start, step, T, 1e9),
+			WSBytes:    series.Constant(start, step, T, 50000e6), // envelope clamps to 0
+			UpdateRate: series.Constant(start, step, T, rate),
+			PinTo:      -1,
+		}
+		return &Problem{
+			Workloads: []Workload{w},
+			Machines: []Machine{{
+				Name: "m0", CPUCapacity: 1, RAMBytes: 64e9, DiskWriteBps: 1e12,
+			}},
+			Disk: &model.DiskProfile{
+				// Zero write fit isolates the envelope term.
+				Fit:         polyfit.Poly2D{Degree: 2, Coeffs: []float64{0, 0, 0, 0, 0, 0}},
+				Envelope:    polyfit.Poly1D{Coeffs: []float64{9000, -1.5}},
+				HasEnvelope: true,
+				WSMinMB:     100,
+				WSMaxMB:     100000,
+			},
+		}
+	}
+	evIdle, err := NewEvaluator(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl := evIdle.serverEval(0, []int{0}); sl.Violation != 0 {
+		t.Errorf("idle rate over zero envelope: violation = %v, want 0", sl.Violation)
+	}
+	evBusy, err := NewEvaluator(mk(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl := evBusy.serverEval(0, []int{0}); sl.Violation <= 0 {
+		t.Errorf("positive rate over zero envelope: violation = %v, want > 0", sl.Violation)
+	}
+}

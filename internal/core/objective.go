@@ -35,9 +35,34 @@ type Evaluator struct {
 	// host machine (1 when the workload declares no SLA).
 	slaCapU []float64
 
+	// envKeys/envVals memoize Disk.MaxRowsPerSec keyed by the raw bits of
+	// the aggregate working set (direct-mapped, envMemoSize slots). Local
+	// search re-prices the same aggregate sums over and over — the remove
+	// side of every candidate move, and both sides again on the next sweep —
+	// so the envelope polynomial is mostly evaluated on working sets it has
+	// already seen. A hit returns exactly the value the polynomial would,
+	// so memoization cannot perturb pricing at the bit level. nil when the
+	// problem has no saturation envelope. Not safe for concurrent use;
+	// Clone gives each worker its own copy.
+	envKeys []uint64
+	envVals []float64
+
 	// Fevals counts full-assignment evaluations.
 	Fevals int
 }
+
+// envMemoBits sizes the envelope memo (2^13 slots × 16 bytes = 128 KiB per
+// evaluator — small enough to clone per worker, large enough that a sweep's
+// working-set values rarely collide).
+const envMemoBits = 13
+
+// envRateFloor (rows/sec) bounds the denominator of the envelope violation
+// term. The clamped envelope can reach exactly 0 for large working sets; a
+// positive rate there is a real violation (the disk cannot sustain any
+// updates), and the floor keeps its penalty finite instead of dividing by
+// zero — or, as the old `maxRate > 0` guard did, skipping the check
+// entirely and calling the placement feasible.
+const envRateFloor = 1.0
 
 // NewEvaluator validates the problem and prepares the evaluation arrays.
 func NewEvaluator(p *Problem) (*Evaluator, error) {
@@ -115,17 +140,52 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 			}
 		}
 	}
+	if p.Disk != nil && p.Disk.HasEnvelope {
+		ev.envKeys = make([]uint64, 1<<envMemoBits)
+		ev.envVals = make([]float64, 1<<envMemoBits)
+		// Seed every slot coherently: key 0 is the bits of ws=+0, so the
+		// matching value must be the envelope at 0 for hits to be exact.
+		v0 := p.Disk.MaxRowsPerSec(0)
+		for i := range ev.envVals {
+			ev.envVals[i] = v0
+		}
+	}
 	return ev, nil
+}
+
+// envMax returns Disk.MaxRowsPerSec(wsBytes) through the per-evaluator memo.
+// The memo is keyed on the exact float bits, so a hit is bit-identical to
+// evaluating the polynomial; misses fill the slot (direct-mapped, newest
+// wins). Zero allocations.
+func (ev *Evaluator) envMax(wsBytes float64) float64 {
+	if ev.envKeys == nil {
+		return ev.p.Disk.MaxRowsPerSec(wsBytes)
+	}
+	bits := math.Float64bits(wsBytes)
+	slot := (bits * 0x9E3779B97F4A7C15) >> (64 - envMemoBits)
+	if ev.envKeys[slot] == bits {
+		return ev.envVals[slot]
+	}
+	v := ev.p.Disk.MaxRowsPerSec(wsBytes)
+	ev.envKeys[slot] = bits
+	ev.envVals[slot] = v
+	return v
 }
 
 // Clone returns an evaluator that shares ev's immutable problem data (the
 // demand arrays, pins and conflict lists are never written after
 // NewEvaluator) but counts its own Fevals, so each worker goroutine of a
-// parallel solve can evaluate assignments without locking. Callers that
-// care about totals add the clone's Fevals back deterministically.
+// parallel solve can evaluate assignments without locking. The envelope
+// memo is mutable state and is deep-copied — sharing it across goroutines
+// would race. Callers that care about totals add the clone's Fevals back
+// deterministically.
 func (ev *Evaluator) Clone() *Evaluator {
 	c := *ev
 	c.Fevals = 0
+	if ev.envKeys != nil {
+		c.envKeys = append([]uint64(nil), ev.envKeys...)
+		c.envVals = append([]float64(nil), ev.envVals...)
+	}
 	return &c
 }
 
@@ -211,9 +271,17 @@ func (ev *Evaluator) evalSums(j int, cpuSum, ramSum, wsSum, rateSum []float64, s
 			if pred > diskPeak {
 				diskPeak = pred
 			}
+			// Boundary rule (model.EnvelopeFeasible): exactly at the
+			// envelope is feasible, and a clamped-to-zero envelope admits
+			// only a zero rate — strict excess is always a violation, with
+			// the denominator floored so the penalty stays finite.
 			if ev.p.Disk.HasEnvelope {
-				if maxRate := ev.p.Disk.MaxRowsPerSec(wsSum[t]); rateSum[t] > maxRate && maxRate > 0 {
-					viol += (rateSum[t] - maxRate) / maxRate / float64(T)
+				if maxRate := ev.envMax(wsSum[t]); rateSum[t] > maxRate {
+					den := maxRate
+					if den < envRateFloor {
+						den = envRateFloor
+					}
+					viol += (rateSum[t] - maxRate) / den / float64(T)
 				}
 			}
 		}

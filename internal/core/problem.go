@@ -256,6 +256,12 @@ type Solution struct {
 	Fevals int
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
+	// Migrated counts units placed away from their incumbent machine. Only
+	// Resolve sets it; cold solves have no incumbent and leave it 0.
+	Migrated int
+	// MigrationCost is the total migration penalty charged by the warm
+	// re-solve's objective (0 when MigrationWeight is 0 or for cold solves).
+	MigrationCost float64
 }
 
 // UnitRef names a placement unit.

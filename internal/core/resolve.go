@@ -1,0 +1,444 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file implements rolling re-consolidation: warm-started re-solves
+// that reuse the previous plan instead of solving from greedy/round-robin
+// seeds every time. The paper's consolidation is a one-shot solve, but its
+// own premise — workloads drift week to week (Section 4's forecasting) —
+// means a production fleet is re-consolidated continuously. A good re-solve
+// starts from the incumbent plan, charges for migrations rather than
+// ignoring them, and only then polishes (the rolling re-provisioning
+// concern of WiSeDB and of database-agnostic workload management).
+
+// Incumbent is a previously computed consolidation plan in a durable form:
+// it can be saved, reloaded in a later process, and used to warm-start
+// Resolve against a drifted version of the fleet. Units are identified by
+// workload name (plus replica number) so the mapping survives workloads
+// being reordered, added or removed between runs; the index at save time is
+// kept as a fallback for unnamed fleets.
+type Incumbent struct {
+	// K is the machine count of the incumbent plan.
+	K int `json:"k"`
+	// Units records where each placement unit ran.
+	Units []IncumbentUnit `json:"units"`
+}
+
+// IncumbentUnit is one placement of an Incumbent.
+type IncumbentUnit struct {
+	// Workload names the unit's workload. Matching across runs is by name
+	// when every workload name in the new problem is unique and non-empty,
+	// by Index otherwise.
+	Workload string `json:"workload"`
+	// Index is the workload's index at the time the plan was computed.
+	Index int `json:"index"`
+	// Replica is the unit's replica number.
+	Replica int `json:"replica"`
+	// Machine is the machine index the unit was assigned to.
+	Machine int `json:"machine"`
+	// MachineName names that machine (empty for unnamed machine lists).
+	// Matching across runs prefers the name when both sides carry unique
+	// non-empty machine names, so a reordered machine list cannot silently
+	// seed units onto different hardware.
+	MachineName string `json:"machine_name,omitempty"`
+}
+
+// IncumbentFromSolution captures a solution of problem p as an incumbent
+// plan for later warm-started re-solves.
+func IncumbentFromSolution(p *Problem, sol *Solution) *Incumbent {
+	inc := &Incumbent{K: sol.K, Units: make([]IncumbentUnit, len(sol.Assign))}
+	for i, j := range sol.Assign {
+		ref := sol.Units[i]
+		inc.Units[i] = IncumbentUnit{
+			Workload: p.Workloads[ref.Workload].Name,
+			Index:    ref.Workload,
+			Replica:  ref.Replica,
+			Machine:  j,
+		}
+		if j >= 0 && j < len(p.Machines) {
+			inc.Units[i].MachineName = p.Machines[j].Name
+		}
+	}
+	return inc
+}
+
+// Save writes the incumbent as indented JSON (the `kairos consolidate
+// -save-plan` format).
+func (inc *Incumbent) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(inc)
+}
+
+// LoadIncumbent reads an incumbent saved by Save.
+func LoadIncumbent(r io.Reader) (*Incumbent, error) {
+	var inc Incumbent
+	if err := json.NewDecoder(r).Decode(&inc); err != nil {
+		return nil, fmt.Errorf("core: decoding incumbent plan: %w", err)
+	}
+	if inc.K <= 0 || len(inc.Units) == 0 {
+		return nil, fmt.Errorf("core: incumbent plan is empty (k=%d, %d units)", inc.K, len(inc.Units))
+	}
+	return &inc, nil
+}
+
+// DefaultResolveOptions returns the standard warm-restart knobs: a small
+// migration weight so plans stay sticky under drift without freezing.
+func DefaultResolveOptions() SolveOptions {
+	o := DefaultSolveOptions()
+	o.MigrationWeight = 0.05
+	return o
+}
+
+// migration is the warm-restart pricing context threaded through the hill
+// climb: the incumbent machine per unit, the per-unit cost charged while a
+// unit sits away from its incumbent, and an optional cap on how many units
+// may be away at once. All methods are nil-receiver safe — a nil *migration
+// (cold solves) prices and permits everything as before.
+type migration struct {
+	// home[u] is unit u's incumbent machine, or -1 for units with no
+	// incumbent (new workloads, or incumbents outside the current K).
+	home []int
+	// cost[u] is the objective charge while u is away from home[u].
+	cost []float64
+	// limit caps the number of units away from home (0 = unlimited).
+	limit int
+	// away counts units currently away from home; kept in lockstep with
+	// accepted moves via note().
+	away int
+}
+
+// delta returns the migration-cost change of moving unit u from→to.
+func (m *migration) delta(u, from, to int) float64 {
+	if m == nil || m.cost == nil {
+		return 0
+	}
+	switch h := m.home[u]; {
+	case h < 0:
+		return 0
+	case from == h:
+		return m.cost[u]
+	case to == h:
+		return -m.cost[u]
+	}
+	return 0
+}
+
+// awayDelta returns how the away count changes if unit u moves from→to.
+func (m *migration) awayDelta(u, from, to int) int {
+	if m == nil {
+		return 0
+	}
+	switch h := m.home[u]; {
+	case h < 0:
+		return 0
+	case from == h:
+		return 1
+	case to == h:
+		return -1
+	}
+	return 0
+}
+
+// allows reports whether a move changing the away count by d fits the cap.
+func (m *migration) allows(d int) bool {
+	return m == nil || m.limit <= 0 || m.away+d <= m.limit
+}
+
+// note records an accepted move's away-count change.
+func (m *migration) note(d int) {
+	if m != nil {
+		m.away += d
+	}
+}
+
+// syncAway recomputes the away count from an assignment (used after passes
+// that bypass the climb's bookkeeping, like machine-count reduction).
+func (m *migration) syncAway(assign []int) {
+	if m == nil {
+		return
+	}
+	m.away = 0
+	for u, h := range m.home {
+		if h >= 0 && assign[u] != h {
+			m.away++
+		}
+	}
+}
+
+// tally returns the migration count and total cost of a final assignment.
+func (m *migration) tally(assign []int) (migrated int, cost float64) {
+	if m == nil {
+		return 0, 0
+	}
+	for u, h := range m.home {
+		if h >= 0 && assign[u] != h {
+			migrated++
+			if m.cost != nil {
+				cost += m.cost[u]
+			}
+		}
+	}
+	return migrated, cost
+}
+
+// newMigration builds the migration context for a warm re-solve. Unit
+// migration costs scale with the unit's peak working set (its RAM peak when
+// the problem carries no working-set series) relative to the fleet mean, so
+// moving a heavy database costs proportionally more than a light one.
+func (ev *Evaluator) newMigration(home []int, opt SolveOptions) *migration {
+	m := &migration{home: home, limit: opt.MaxMigrations}
+	if opt.MigrationWeight > 0 {
+		nU := len(ev.units)
+		sizes := make([]float64, nU)
+		var mean float64
+		for u := 0; u < nU; u++ {
+			peak := 0.0
+			for _, v := range ev.ws[u] {
+				if v > peak {
+					peak = v
+				}
+			}
+			if peak == 0 {
+				for _, v := range ev.ram[u] {
+					if v > peak {
+						peak = v
+					}
+				}
+			}
+			sizes[u] = peak * ev.scale[u]
+			mean += sizes[u]
+		}
+		mean /= float64(nU)
+		m.cost = make([]float64, nU)
+		for u := range m.cost {
+			if mean > 0 {
+				m.cost[u] = opt.MigrationWeight * sizes[u] / mean
+			} else {
+				m.cost[u] = opt.MigrationWeight
+			}
+		}
+	}
+	return m
+}
+
+// warmSeed maps the incumbent plan onto the current problem's units: each
+// matched unit starts on its incumbent machine (its "home"), and units with
+// no usable incumbent — new workloads, extra replicas, or incumbents on
+// machines that no longer exist — are placed one by one on whichever
+// machine prices cheapest. Workloads are matched by name (falling back to
+// index for unnamed fleets), and incumbent machines likewise remap by
+// machine name when both sides carry unique non-empty names, so reordering
+// either list between runs cannot seed units onto different hardware.
+// Returns the seed assignment and the per-unit home array (-1 for the free
+// units). Pins always win over incumbents: a pinned unit's home IS its pin,
+// so forced pin changes are never priced or capped as migrations.
+func (ev *Evaluator) warmSeed(p *Problem, inc *Incumbent, K int) (seed, home []int) {
+	byName := make(map[string]int, len(p.Workloads))
+	uniqueNames := true
+	for i, w := range p.Workloads {
+		if w.Name == "" {
+			uniqueNames = false
+			break
+		}
+		if _, dup := byName[w.Name]; dup {
+			uniqueNames = false
+			break
+		}
+		byName[w.Name] = i
+	}
+	machByName := make(map[string]int, len(p.Machines))
+	machNamesUnique := true
+	for j, m := range p.Machines {
+		if m.Name == "" {
+			machNamesUnique = false
+			break
+		}
+		if _, dup := machByName[m.Name]; dup {
+			machNamesUnique = false
+			break
+		}
+		machByName[m.Name] = j
+	}
+	unitIndex := make(map[UnitRef]int, len(ev.units))
+	for gi, un := range ev.units {
+		unitIndex[UnitRef{Workload: un.w, Replica: un.replica}] = gi
+	}
+
+	home = make([]int, len(ev.units))
+	for u := range home {
+		home[u] = -1
+	}
+	for _, iu := range inc.Units {
+		w := iu.Index
+		if uniqueNames {
+			found, ok := byName[iu.Workload]
+			if !ok {
+				continue // workload removed since the incumbent plan
+			}
+			w = found
+		} else if w < 0 || w >= len(p.Workloads) {
+			continue
+		}
+		gi, ok := unitIndex[UnitRef{Workload: w, Replica: iu.Replica}]
+		if !ok {
+			continue // replica count shrank
+		}
+		m := iu.Machine
+		if machNamesUnique && iu.MachineName != "" {
+			found, ok := machByName[iu.MachineName]
+			if !ok {
+				continue // machine removed since the incumbent plan
+			}
+			m = found
+		}
+		if m < 0 || m >= K {
+			continue // incumbent machine outside the current range
+		}
+		home[gi] = m
+	}
+	// A pinned unit's placement is not a churn decision: its home is its
+	// pin, so a pin that changed since the incumbent plan neither charges
+	// migration cost nor consumes the MaxMigrations budget.
+	for u := range home {
+		if ev.pin[u] >= 0 {
+			home[u] = ev.pin[u]
+		}
+	}
+
+	seed = make([]int, len(ev.units))
+	var free []int
+	for u := range seed {
+		switch {
+		case home[u] >= 0:
+			seed[u] = home[u]
+		default:
+			seed[u] = 0
+			free = append(free, u)
+		}
+	}
+	if len(free) == 0 {
+		return seed, home
+	}
+	// Place the free units greedily against the warm state: each takes the
+	// single-unit move that prices cheapest from its provisional slot on
+	// machine 0. Deterministic (unit order, then machine order).
+	ls := NewLoadState(ev, seed, K)
+	for _, u := range free {
+		if j := ev.bestMove(ls, u, K, nil); j != ls.Assign(u) {
+			ls.Move(u, j)
+		}
+	}
+	return ls.Assignment(), home
+}
+
+// Resolve computes a consolidation plan for p warm-started from an
+// incumbent plan (rolling re-consolidation): the solver seeds from the
+// incumbent's placements, prices migrations into the hill climb per
+// SolveOptions.MigrationWeight/MaxMigrations, and polishes with the same
+// move+swap local search Solve uses — no DIRECT run, no binary search over
+// K. When no migration cap is set, the cold seeds (greedy packing and
+// round-robin) also enter as candidates, so a warm re-solve can never
+// return a worse combined plan (objective plus migration cost) than the
+// cold local-search path at the same machine count; with a positive
+// migration weight those candidates pay for every unit they displace, and
+// the incumbent-seeded plan wins unless re-packing truly earns its churn.
+// On a mildly drifted fleet this matches the cold solve's plan quality
+// with far fewer objective evaluations, migrating only the units that pay
+// for their move.
+//
+// The machine count starts at the incumbent's K (clamped to the available
+// machines), grows one machine at a time while the plan is infeasible, and
+// — when machines are interchangeable and no migration cap is set —
+// shrinks through the same reduction pass the sharded merge uses.
+// Solution.Objective is the canonical consolidation objective (no
+// migration term), so warm and cold plans are directly comparable;
+// Solution.Migrated and Solution.MigrationCost report the migration side.
+// Deterministic for any SolveOptions.Workers value.
+func Resolve(p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
+	start := time.Now()
+	if inc == nil || inc.K <= 0 || len(inc.Units) == 0 {
+		return nil, fmt.Errorf("core: Resolve needs a non-empty incumbent plan")
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	maxK := len(p.Machines)
+	K := inc.K
+	if K > maxK {
+		K = maxK
+	}
+	if K < 1 {
+		K = 1
+	}
+	for _, pin := range ev.pin {
+		if pin >= K {
+			K = pin + 1 // Validate guarantees pin < maxK
+		}
+	}
+
+	seed, home := ev.warmSeed(p, inc, K)
+	mig := ev.newMigration(home, opt)
+	ctx := context.Background()
+	const rounds = 100
+
+	type cand struct {
+		assign   []int
+		obj      float64
+		feas     bool
+		combined float64 // objective + migration cost, the selection metric
+	}
+	climb := func(from []int) cand {
+		mig.syncAway(from)
+		a, o, f := ev.hillClimbMig(ctx, from, K, rounds, mig)
+		_, cost := mig.tally(a)
+		return cand{assign: a, obj: o, feas: f, combined: o + cost}
+	}
+
+	cands := []cand{climb(seed)}
+	if opt.MaxMigrations <= 0 {
+		// Cold seeds as safety net (they start fully migrated, so a
+		// migration cap rules them out): exactly the seeds solveK climbs
+		// from, via the shared helper.
+		for _, a := range ev.coldSeeds(K, opt.workers()) {
+			cands = append(cands, climb(a))
+		}
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if (c.feas && !best.feas) || (c.feas == best.feas && c.combined < best.combined) {
+			best = c
+		}
+	}
+	assign, obj, feas := best.assign, best.obj, best.feas
+
+	// Drift can make the incumbent K infeasible; grow until the climb finds
+	// a feasible plan (fresh machines start empty, so the next climb can
+	// offload the violating units onto them).
+	for !feas && K < maxK {
+		K++
+		mig.syncAway(assign)
+		assign, obj, feas = ev.hillClimbMig(ctx, assign, K, rounds, mig)
+	}
+	// Drift the other way can free a machine; reclaim it with the reduction
+	// pass when machines are interchangeable. Reduction relocates whole
+	// machines, so it only runs without a migration cap.
+	if feas && opt.MaxMigrations <= 0 && p.HomogeneousMachines() {
+		if reduced, rk := ev.reduceK(assign, K); rk < K {
+			assign, K = reduced, rk
+			mig.syncAway(assign)
+			assign, obj, feas = ev.hillClimbMig(ctx, assign, K, rounds, mig)
+		}
+	}
+
+	sol := ev.finish(p, assign, K, obj, feas, start)
+	sol.Migrated, sol.MigrationCost = mig.tally(assign)
+	return sol, nil
+}

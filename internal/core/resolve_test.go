@@ -1,0 +1,455 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"kairos/internal/series"
+)
+
+// driftProblem returns a copy of p with every workload's series scaled by a
+// deterministic per-workload factor in [1-frac, 1+frac] — the week-over-week
+// drift a rolling re-consolidation faces.
+func driftProblem(p *Problem, frac float64, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	out := *p
+	out.Workloads = make([]Workload, len(p.Workloads))
+	for i, w := range p.Workloads {
+		f := 1 + (rng.Float64()*2-1)*frac
+		out.Workloads[i] = w
+		out.Workloads[i].CPU = w.CPU.Scale(f).Clamp(0, 1)
+		out.Workloads[i].RAMBytes = w.RAMBytes.Scale(f)
+		if w.WSBytes != nil {
+			out.Workloads[i].WSBytes = w.WSBytes.Scale(f)
+		}
+		if w.UpdateRate != nil {
+			out.Workloads[i].UpdateRate = w.UpdateRate.Scale(f)
+		}
+	}
+	return &out
+}
+
+// TestResolveWarmVsColdDrift is the headline acceptance test: on a mildly
+// (≤5%) drifted fleet the warm-started re-solve must reach a plan at least
+// as good as the cold local-search solve's — by construction, since the
+// cold seeds enter as candidates — with measurably fewer objective
+// evaluations than a full cold solve, while the default sticky
+// configuration migrates only a bounded fraction of the units.
+func TestResolveWarmVsColdDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	p := randomLoadStateProblem(rng, 24, 24, false)
+	opt := DefaultSolveOptions()
+	prev, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prev.Feasible {
+		t.Fatal("baseline solve infeasible")
+	}
+	inc := IncumbentFromSolution(p, prev)
+
+	drifted := driftProblem(p, 0.05, 42)
+	cold, err := Solve(drifted, opt) // full cold solve: DIRECT + local search
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdOpt := opt
+	sdOpt.SkipDirect = true
+	coldLocal, err := Solve(drifted, sdOpt) // like-for-like cold local search
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Free warm re-solve (no migration pricing): must dominate the cold
+	// local-search plan outright.
+	freeOpt := DefaultResolveOptions()
+	freeOpt.MigrationWeight = 0
+	free, err := Resolve(drifted, inc, freeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.Feasible {
+		t.Fatal("warm re-solve infeasible")
+	}
+	if free.K > coldLocal.K {
+		t.Fatalf("warm K = %d, cold local K = %d — warm start lost machines", free.K, coldLocal.K)
+	}
+	if free.K == coldLocal.K && free.Objective > coldLocal.Objective+1e-9 {
+		t.Errorf("warm objective %v worse than cold local search %v at equal K", free.Objective, coldLocal.Objective)
+	}
+	if free.Fevals*2 >= cold.Fevals {
+		t.Errorf("warm re-solve used %d fevals, full cold solve %d — want less than half", free.Fevals, cold.Fevals)
+	}
+	if free.Fevals*4 >= coldLocal.Fevals*3 {
+		t.Errorf("warm re-solve used %d fevals, cold local search %d — want measurably fewer", free.Fevals, coldLocal.Fevals)
+	}
+
+	// Sticky warm re-solve (default migration weight): near-cold quality at
+	// a bounded migration fraction.
+	sticky, err := Resolve(drifted, inc, DefaultResolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sticky.Feasible {
+		t.Fatal("sticky warm re-solve infeasible")
+	}
+	nU := len(sticky.Assign)
+	if sticky.Migrated*4 > nU {
+		t.Errorf("sticky re-solve migrated %d of %d units — want at most a quarter under 5%% drift", sticky.Migrated, nU)
+	}
+	if sticky.K == coldLocal.K && sticky.Objective > coldLocal.Objective*1.005 {
+		t.Errorf("sticky objective %v more than 0.5%% over cold local search %v", sticky.Objective, coldLocal.Objective)
+	}
+	t.Logf("cold: K=%d obj=%.6f fevals=%d; cold local: K=%d obj=%.6f fevals=%d",
+		cold.K, cold.Objective, cold.Fevals, coldLocal.K, coldLocal.Objective, coldLocal.Fevals)
+	t.Logf("warm free:   K=%d obj=%.6f fevals=%d migrated=%d/%d",
+		free.K, free.Objective, free.Fevals, free.Migrated, nU)
+	t.Logf("warm sticky: K=%d obj=%.6f fevals=%d migrated=%d/%d (cost %.4f)",
+		sticky.K, sticky.Objective, sticky.Fevals, sticky.Migrated, nU, sticky.MigrationCost)
+}
+
+// TestIncumbentSaveLoadRoundTrip checks the plan file round-trips exactly
+// and that a reloaded incumbent warm-seeds Resolve with the identical seed
+// state the in-memory incumbent produces.
+func TestIncumbentSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomLoadStateProblem(rng, 10, 12, false)
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+
+	var buf bytes.Buffer
+	if err := inc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIncumbent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc, loaded) {
+		t.Fatalf("round trip mismatch:\n saved  %+v\n loaded %+v", inc, loaded)
+	}
+
+	ev1, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed1, home1 := ev1.warmSeed(p, inc, inc.K)
+	seed2, home2 := ev2.warmSeed(p, loaded, loaded.K)
+	if !reflect.DeepEqual(seed1, seed2) || !reflect.DeepEqual(home1, home2) {
+		t.Fatal("reloaded incumbent produces a different warm seed")
+	}
+	// Zero drift: the incumbent is already a move+swap-stable plan, so the
+	// re-solve must keep every unit at home.
+	warm, err := Resolve(p, loaded, DefaultResolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Migrated != 0 {
+		t.Errorf("no-drift re-solve migrated %d units, want 0", warm.Migrated)
+	}
+	if warm.K != sol.K {
+		t.Errorf("no-drift re-solve K = %d, want incumbent %d", warm.K, sol.K)
+	}
+	if warm.Objective > sol.Objective+1e-9 {
+		t.Errorf("no-drift re-solve objective %v worse than incumbent %v", warm.Objective, sol.Objective)
+	}
+
+	// Corrupt / empty plans are rejected.
+	if _, err := LoadIncumbent(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := LoadIncumbent(bytes.NewBufferString(`{"k":0,"units":[]}`)); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+// TestResolveMatchesByName reorders the workload list between runs: the
+// incumbent must still map every unit to its old machine by workload name,
+// so nothing migrates under zero drift.
+func TestResolveMatchesByName(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := randomLoadStateProblem(rng, 12, 12, false)
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+
+	perm := *p
+	perm.Workloads = make([]Workload, len(p.Workloads))
+	order := rng.Perm(len(p.Workloads))
+	for i, j := range order {
+		perm.Workloads[i] = p.Workloads[j]
+	}
+	warm, err := Resolve(&perm, inc, DefaultResolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Migrated != 0 {
+		t.Fatalf("reordered fleet migrated %d units, want 0 (name matching failed)", warm.Migrated)
+	}
+	// Every unit sits on the machine the incumbent recorded for its name.
+	byName := map[string]map[int]int{}
+	for _, iu := range inc.Units {
+		if byName[iu.Workload] == nil {
+			byName[iu.Workload] = map[int]int{}
+		}
+		byName[iu.Workload][iu.Replica] = iu.Machine
+	}
+	for i, j := range warm.Assign {
+		ref := warm.Units[i]
+		name := perm.Workloads[ref.Workload].Name
+		if want, ok := byName[name][ref.Replica]; ok && want != j {
+			t.Errorf("unit %s/r%d on machine %d, incumbent had %d", name, ref.Replica, j, want)
+		}
+	}
+}
+
+// TestResolveHonorsMigrationCap forces heavy drift and checks the climb
+// never exceeds SolveOptions.MaxMigrations.
+func TestResolveHonorsMigrationCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := randomLoadStateProblem(rng, 16, 16, false)
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+	drifted := driftProblem(p, 0.25, 9)
+
+	opt := DefaultResolveOptions()
+	opt.MaxMigrations = 3
+	warm, err := Resolve(drifted, inc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Migrated > 3 {
+		t.Errorf("migrated %d units with MaxMigrations=3", warm.Migrated)
+	}
+}
+
+// TestResolveHandlesFleetChanges removes one workload and adds two new ones
+// between runs: matched units keep their incumbent homes, the new units are
+// placed, and the plan stays feasible.
+func TestResolveHandlesFleetChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	p := randomLoadStateProblem(rng, 14, 12, false)
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+
+	next := *p
+	next.Workloads = append([]Workload(nil), p.Workloads[1:]...) // drop w0
+	start := time.Unix(0, 0)
+	for _, name := range []string{"new0", "new1"} {
+		next.Workloads = append(next.Workloads, Workload{
+			Name:     name,
+			CPU:      series.Constant(start, 5*time.Minute, 12, 0.15),
+			RAMBytes: series.Constant(start, 5*time.Minute, 12, 2e9),
+			PinTo:    -1,
+		})
+	}
+	warm, err := Resolve(&next, inc, DefaultResolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Feasible {
+		t.Fatal("re-solve with fleet changes infeasible")
+	}
+	for i, j := range warm.Assign {
+		if j < 0 || j >= warm.K {
+			t.Fatalf("unit %d assigned out of range: %d", i, j)
+		}
+	}
+}
+
+// TestResolveDeterministicAcrossWorkers pins the reproducibility contract:
+// the warm path is sequential by construction, so any Workers value yields
+// the bit-identical plan.
+func TestResolveDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomLoadStateProblem(rng, 12, 12, false)
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+	drifted := driftProblem(p, 0.08, 4)
+
+	opt1 := DefaultResolveOptions()
+	opt1.Workers = 1
+	opt8 := DefaultResolveOptions()
+	opt8.Workers = 8
+	w1, err := Resolve(drifted, inc, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := Resolve(drifted, inc, opt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1.Assign, w8.Assign) || w1.K != w8.K || w1.Objective != w8.Objective {
+		t.Fatalf("plans differ across worker counts: K %d vs %d, obj %v vs %v",
+			w1.K, w8.K, w1.Objective, w8.Objective)
+	}
+}
+
+// TestResolveRejectsEmptyIncumbent covers the error path.
+func TestResolveRejectsEmptyIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomLoadStateProblem(rng, 6, 8, false)
+	if _, err := Resolve(p, nil, DefaultResolveOptions()); err == nil {
+		t.Error("nil incumbent accepted")
+	}
+	if _, err := Resolve(p, &Incumbent{}, DefaultResolveOptions()); err == nil {
+		t.Error("empty incumbent accepted")
+	}
+}
+
+// TestHillClimbSwapEscapesLocalOptimum constructs the canonical trap for
+// single-unit moves: two 0.55-CPU units share a machine while two 0.45-CPU
+// units share the other. No single move helps (the receiving machine would
+// exceed capacity by more), but swapping a 0.55 for a 0.45 balances both at
+// exactly 1.0 — which the at-capacity boundary rule prices as feasible.
+func TestHillClimbSwapEscapesLocalOptimum(t *testing.T) {
+	start := time.Unix(0, 0)
+	step := 5 * time.Minute
+	T := 4
+	mkw := func(name string, cpu float64) Workload {
+		return Workload{
+			Name:     name,
+			CPU:      series.Constant(start, step, T, cpu),
+			RAMBytes: series.Constant(start, step, T, 1e9),
+			PinTo:    -1,
+		}
+	}
+	p := &Problem{
+		Workloads: []Workload{mkw("a", 0.55), mkw("b", 0.55), mkw("c", 0.45), mkw("d", 0.45)},
+		Machines: []Machine{
+			{Name: "m0", CPUCapacity: 1, RAMBytes: 64e9},
+			{Name: "m1", CPUCapacity: 1, RAMBytes: 64e9},
+		},
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int{0, 0, 1, 1} // 1.10 vs 0.90: stuck for single moves
+	got, _, feas := ev.hillClimbRounds(context.Background(), assign, 2, 100)
+	if !feas {
+		t.Fatalf("swap sweep failed to escape the local optimum: assignment %v", got)
+	}
+	if got[0] == got[1] {
+		t.Errorf("heavy units still share machine %d in %v", got[0], got)
+	}
+}
+
+// TestResolveMatchesMachinesByName reorders a *heterogeneous* machine list
+// between runs: the incumbent records machine names, so every unit must be
+// re-homed onto the same hardware (by name), not the same positional index
+// — and nothing migrates under zero drift.
+func TestResolveMatchesMachinesByName(t *testing.T) {
+	start := time.Unix(0, 0)
+	step := 5 * time.Minute
+	T := 8
+	mkw := func(name string, cpu float64) Workload {
+		return Workload{
+			Name:     name,
+			CPU:      series.Constant(start, step, T, cpu),
+			RAMBytes: series.Constant(start, step, T, 2e9),
+			PinTo:    -1,
+		}
+	}
+	big := Machine{Name: "big", CPUCapacity: 2, RAMBytes: 64e9}
+	small := Machine{Name: "small", CPUCapacity: 1, RAMBytes: 32e9}
+	p := &Problem{
+		Workloads: []Workload{mkw("a", 0.9), mkw("b", 0.8), mkw("c", 0.4), mkw("d", 0.3)},
+		Machines:  []Machine{big, small},
+	}
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible || sol.K != 2 {
+		t.Fatalf("baseline: K=%d feasible=%v, want 2 machines", sol.K, sol.Feasible)
+	}
+	inc := IncumbentFromSolution(p, sol)
+	nameOf := func(prob *Problem, j int) string { return prob.Machines[j].Name }
+	wantMachine := map[string]string{}
+	for _, iu := range inc.Units {
+		wantMachine[iu.Workload] = iu.MachineName
+	}
+
+	// Same fleet, machines listed in the opposite order.
+	perm := *p
+	perm.Machines = []Machine{small, big}
+	warm, err := Resolve(&perm, inc, DefaultResolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Migrated != 0 {
+		t.Errorf("reordered machine list migrated %d units, want 0 (machine-name matching failed)", warm.Migrated)
+	}
+	for i, j := range warm.Assign {
+		name := perm.Workloads[warm.Units[i].Workload].Name
+		if got, want := nameOf(&perm, j), wantMachine[name]; got != want {
+			t.Errorf("unit %s on machine %q, incumbent had %q", name, got, want)
+		}
+	}
+}
+
+// TestResolvePinChangeNotCountedAsMigration pins a workload to a different
+// machine than its incumbent: the forced move is not a churn decision, so
+// it must neither count toward Solution.Migrated nor consume the
+// MaxMigrations budget.
+func TestResolvePinChangeNotCountedAsMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	p := randomLoadStateProblem(rng, 10, 12, false)
+	sol, err := Solve(p, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+
+	// Pin workload 0 (replica 0) to a machine other than its incumbent.
+	var incMachine int
+	for _, iu := range inc.Units {
+		if iu.Workload == "w0" && iu.Replica == 0 {
+			incMachine = iu.Machine
+		}
+	}
+	next := *p
+	next.Workloads = append([]Workload(nil), p.Workloads...)
+	next.Workloads[0].PinTo = (incMachine + 1) % sol.K
+
+	opt := DefaultResolveOptions()
+	opt.MaxMigrations = 1
+	warm, err := Resolve(&next, inc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range warm.Assign {
+		if warm.Units[i].Workload == 0 && warm.Units[i].Replica == 0 && j != next.Workloads[0].PinTo {
+			t.Errorf("pinned unit on machine %d, want pin %d", j, next.Workloads[0].PinTo)
+		}
+	}
+	if warm.Migrated > 1 {
+		t.Errorf("Migrated = %d with MaxMigrations=1 and one forced pin change", warm.Migrated)
+	}
+	if warm.MigrationCost > 0 && warm.Migrated == 0 {
+		t.Errorf("migration cost %v charged with no counted migrations", warm.MigrationCost)
+	}
+}

@@ -208,9 +208,12 @@ func SolveSharded(p *Problem, opt ShardOptions) (*Solution, error) {
 	}
 
 	// Cross-shard merge: a bounded global hill climb moves units between
-	// shards' machines, then (for interchangeable machines) a reduction
-	// sweep tries to empty the lightest machines entirely — the co-location
-	// opportunities independent shard solves cannot see.
+	// shards' machines — falling back to 2-exchange swap sweeps when
+	// single-unit moves stall, which trades units across shard boundaries
+	// even when neither fits alongside the other — then (for
+	// interchangeable machines) a reduction sweep tries to empty the
+	// lightest machines entirely: the co-location opportunities independent
+	// shard solves cannot see.
 	if opt.RebalanceRounds >= 0 && K > 0 {
 		rounds := opt.RebalanceRounds
 		if rounds == 0 {

@@ -32,6 +32,18 @@ type SolveOptions struct {
 	// The computed plan is identical for every worker count — parallelism
 	// only changes wall-clock time — so results stay reproducible.
 	Workers int
+	// MigrationWeight prices warm-restart migrations (Resolve only): a unit
+	// placed away from its incumbent machine charges
+	// MigrationWeight · (its peak working set / the fleet's mean peak
+	// working set) on top of the balance objective, so heavy databases are
+	// stickier than light ones. 0 disables migration pricing. Cold solves
+	// (Solve, SolveSharded) ignore it — they have no incumbent.
+	MigrationWeight float64
+	// MaxMigrations caps how many units a warm re-solve may leave away from
+	// their incumbent machine (Resolve only; 0 = unlimited). With a cap
+	// set, Resolve skips the machine-count reduction pass, which migrates
+	// whole machines at a time.
+	MaxMigrations int
 }
 
 // workers normalizes the Workers option.
@@ -289,7 +301,9 @@ func (ev *Evaluator) FractionalLowerBound() int {
 				pred := ev.p.Disk.PredictWriteMBps(wsSum[t]/float64(n), rateSum[t]/float64(n)) * 1e6
 				ok := pred <= diskCap
 				if ok && ev.p.Disk.HasEnvelope {
-					ok = rateSum[t]/float64(n) <= ev.p.Disk.MaxRowsPerSec(wsSum[t]/float64(n))
+					// Boundary rule (model.EnvelopeFeasible): at the
+					// envelope is feasible, beyond it is not.
+					ok = rateSum[t]/float64(n) <= ev.envMax(wsSum[t]/float64(n))
 				}
 				if ok {
 					if n > k {
@@ -361,6 +375,36 @@ func (ev *Evaluator) greedySeed(maxBins, workers int) ([][]int, bool) {
 	return bins, true
 }
 
+// coldSeeds returns the deterministic cold-start assignments solveK climbs
+// from — greedy packing (when it fits K bins) and round-robin spread, both
+// with unplaced units parked on machine 0 and pins repaired. Resolve uses
+// the same seeds as safety-net candidates, which is what guarantees a warm
+// re-solve never loses to the cold local-search path at the same K.
+func (ev *Evaluator) coldSeeds(K, workers int) [][]int {
+	nU := len(ev.units)
+	var seeds [][]int
+	if bins, ok := ev.greedySeed(K, workers); ok {
+		a := greedy.Assignment(bins, nU)
+		for u := range a {
+			if a[u] < 0 {
+				a[u] = 0
+			}
+			if ev.pin[u] >= 0 {
+				a[u] = ev.pin[u]
+			}
+		}
+		seeds = append(seeds, a)
+	}
+	rr := make([]int, nU)
+	for u := range rr {
+		rr[u] = u % K
+		if ev.pin[u] >= 0 {
+			rr[u] = ev.pin[u]
+		}
+	}
+	return append(seeds, rr)
+}
+
 // solveK finds the best assignment on exactly K machines with the given
 // budget: greedy and spread seeds improved by hill climbing, plus an
 // optional DIRECT global search, polished again. Deterministic throughout
@@ -379,28 +423,10 @@ func (ev *Evaluator) solveK(ctx context.Context, K int, opt SolveOptions, polish
 		cands = append(cands, cand{a2, o2, f2})
 	}
 
-	// Seed 1: greedy bins (may use fewer than K machines).
-	if bins, ok := ev.greedySeed(K, opt.workers()); ok {
-		a := greedy.Assignment(bins, nU)
-		for u := range a {
-			if a[u] < 0 {
-				a[u] = 0
-			}
-			if ev.pin[u] >= 0 {
-				a[u] = ev.pin[u]
-			}
-		}
+	// Cold seeds: greedy bins plus round-robin spread.
+	for _, a := range ev.coldSeeds(K, opt.workers()) {
 		try(a)
 	}
-	// Seed 2: round-robin spread.
-	rr := make([]int, nU)
-	for u := range rr {
-		rr[u] = u % K
-		if ev.pin[u] >= 0 {
-			rr[u] = ev.pin[u]
-		}
-	}
-	try(rr)
 
 	// DIRECT global search over the compact encoding: one continuous
 	// variable per unit in [0, K), floor() gives the machine index. With
@@ -474,47 +500,37 @@ func (ev *Evaluator) solveK(ctx context.Context, K int, opt SolveOptions, polish
 	return best.assign, best.obj, best.feas
 }
 
-// hillClimb is deterministic best-improvement local search with single-unit
-// moves — the "polishing" phase of Section 6. Candidate moves are priced in
-// O(T) against the incremental LoadState, so a full sweep costs O(U·K·T)
-// instead of the O(U·K·units-per-server·T) a scratch re-aggregation needs.
+// hillClimb is deterministic best-improvement local search — the
+// "polishing" phase of Section 6 — with single-unit moves plus 2-exchange
+// swap sweeps. Candidate moves are priced in O(T) against the incremental
+// LoadState, so a full move sweep costs O(U·K·T) and a swap sweep O(U²·T),
+// instead of the O(·units-per-server·T) factor a scratch re-aggregation
+// needs per candidate.
 func (ev *Evaluator) hillClimb(ctx context.Context, assign []int, K int) ([]int, float64, bool) {
 	return ev.hillClimbRounds(ctx, assign, K, 100)
 }
 
 // hillClimbRounds is hillClimb with an explicit sweep budget (the sharded
-// solver's cross-shard rebalance pass uses a small one). Accepted moves
+// solver's cross-shard rebalance pass uses a small one).
+func (ev *Evaluator) hillClimbRounds(ctx context.Context, assign []int, K int, maxRounds int) ([]int, float64, bool) {
+	return ev.hillClimbMig(ctx, assign, K, maxRounds, nil)
+}
+
+// hillClimbMig is the full local search: rounds of single-unit move sweeps,
+// falling back to a 2-exchange swap sweep whenever moves stall — swaps
+// escape the local optima single-unit moves cannot (two units that should
+// trade places but neither fits alongside the other). A non-nil mig adds
+// warm-restart migration pricing (Resolve). Accepted moves and swaps
 // re-materialize the touched machines' sums canonically inside LoadState,
 // and the final plan is re-priced through the canonical Eval, so the
-// incremental pricing never drifts into the result.
-func (ev *Evaluator) hillClimbRounds(ctx context.Context, assign []int, K int, maxRounds int) ([]int, float64, bool) {
+// incremental pricing never drifts into the result. Deterministic: sweep
+// order is fixed and independent of worker counts.
+func (ev *Evaluator) hillClimbMig(ctx context.Context, assign []int, K int, maxRounds int, mig *migration) ([]int, float64, bool) {
 	ls := NewLoadState(ev, assign, K)
-	improved := true
-	for rounds := 0; improved && rounds < maxRounds && ctx.Err() == nil; rounds++ {
-		improved = false
-		for u := 0; u < ls.NumUnits(); u++ {
-			if ev.pin[u] >= 0 {
-				continue
-			}
-			from := ls.Assign(u)
-			cFromNew := ls.PriceRemove(u)
-			bestJ := from
-			bestDelta := -1e-9 // strict improvement required
-			for j := 0; j < K; j++ {
-				if j == from {
-					continue
-				}
-				ev.Fevals++
-				cToNew := ls.PriceAdd(u, j)
-				delta := (cFromNew + cToNew) - (ls.Contrib(from) + ls.Contrib(j))
-				if delta < bestDelta {
-					bestDelta = delta
-					bestJ = j
-				}
-			}
-			if bestJ != from {
-				ls.Move(u, bestJ)
-				improved = true
+	for rounds := 0; rounds < maxRounds && ctx.Err() == nil; rounds++ {
+		if !ev.sweepMoves(ls, K, mig) {
+			if !ev.sweepSwaps(ls, K, mig) {
+				break
 			}
 		}
 	}
@@ -522,4 +538,95 @@ func (ev *Evaluator) hillClimbRounds(ctx context.Context, assign []int, K int, m
 	cur := ls.Assignment()
 	obj, feas := ev.Eval(cur, K)
 	return cur, obj, feas
+}
+
+// bestMove returns unit u's best strictly-improving destination machine
+// under the current LoadState (and optional migration pricing), or u's
+// current machine when no move improves. Counts one Feval per candidate
+// priced. Shared by the move sweeps and the warm-seed placement of units
+// with no incumbent.
+func (ev *Evaluator) bestMove(ls *LoadState, u, K int, mig *migration) int {
+	from := ls.Assign(u)
+	cFromNew := ls.PriceRemove(u)
+	bestJ := from
+	bestDelta := -1e-9 // strict improvement required
+	for j := 0; j < K; j++ {
+		if j == from {
+			continue
+		}
+		if !mig.allows(mig.awayDelta(u, from, j)) {
+			continue
+		}
+		ev.Fevals++
+		cToNew := ls.PriceAdd(u, j)
+		delta := (cFromNew + cToNew) - (ls.Contrib(from) + ls.Contrib(j)) + mig.delta(u, from, j)
+		if delta < bestDelta {
+			bestDelta = delta
+			bestJ = j
+		}
+	}
+	return bestJ
+}
+
+// sweepMoves runs one best-improvement sweep of single-unit moves, applying
+// improving moves as it goes. Reports whether anything moved.
+func (ev *Evaluator) sweepMoves(ls *LoadState, K int, mig *migration) bool {
+	improved := false
+	for u := 0; u < ls.NumUnits(); u++ {
+		if ev.pin[u] >= 0 {
+			continue
+		}
+		from := ls.Assign(u)
+		if bestJ := ev.bestMove(ls, u, K, mig); bestJ != from {
+			mig.note(mig.awayDelta(u, from, bestJ))
+			ls.Move(u, bestJ)
+			improved = true
+		}
+	}
+	return improved
+}
+
+// sweepSwaps runs one best-improvement sweep of 2-exchange swaps: for every
+// unit, the best partner on another machine is found by pricing both sides
+// of the exchange as two O(T) LoadState deltas, and the best strictly
+// improving swap per unit is applied immediately. Reports whether any swap
+// was applied.
+func (ev *Evaluator) sweepSwaps(ls *LoadState, K int, mig *migration) bool {
+	improved := false
+	n := ls.NumUnits()
+	for u := 0; u < n; u++ {
+		if ev.pin[u] >= 0 {
+			continue
+		}
+		a := ls.Assign(u)
+		bestV := -1
+		bestDelta := -1e-9 // strict improvement required
+		for v := u + 1; v < n; v++ {
+			if ev.pin[v] >= 0 {
+				continue
+			}
+			b := ls.Assign(v)
+			if b == a {
+				continue
+			}
+			if !mig.allows(mig.awayDelta(u, a, b) + mig.awayDelta(v, b, a)) {
+				continue
+			}
+			ev.Fevals++
+			nu, nv := ls.PriceSwap(u, v)
+			delta := (nu + nv) - (ls.Contrib(a) + ls.Contrib(b)) +
+				mig.delta(u, a, b) + mig.delta(v, b, a)
+			if delta < bestDelta {
+				bestDelta = delta
+				bestV = v
+			}
+		}
+		if bestV >= 0 {
+			b := ls.Assign(bestV)
+			mig.note(mig.awayDelta(u, a, b) + mig.awayDelta(bestV, b, a))
+			ls.Swap(u, bestV)
+			improved = true
+		}
+	}
+	return improved
 }

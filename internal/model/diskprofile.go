@@ -86,12 +86,30 @@ func (p *DiskProfile) PredictWriteMBps(wsBytes, rowsPerSec float64) float64 {
 // MaxRowsPerSec returns the saturation row-update rate for an aggregate
 // working set, from the envelope fit. It returns +Inf-like large values only
 // if the profile never saturated; callers should check HasEnvelope.
+//
+// The fitted quadratic can dip negative for working sets near the top of the
+// sweep range; a negative sustainable rate is meaningless, so the result is
+// clamped to 0. A zero envelope means "no update rate is sustainable at this
+// working set": per the boundary rule (see EnvelopeFeasible), an aggregate
+// rate of exactly 0 is still feasible there, and any positive rate is not.
 func (p *DiskProfile) MaxRowsPerSec(wsBytes float64) float64 {
 	v := p.Envelope.Eval(p.clampWS(wsBytes / 1e6))
 	if v < 0 {
 		return 0
 	}
 	return v
+}
+
+// EnvelopeFeasible is the single boundary rule every envelope check in the
+// system uses: an aggregate row-update rate is sustainable iff it does not
+// exceed the envelope, with exactly-at-envelope counting as feasible — the
+// same "at capacity is feasible" convention core's objective applies to CPU,
+// RAM and the disk-write budget. With a zero (clamped) envelope only a zero
+// rate passes; the old `rate >= max` / `max > 0` variants either rejected
+// idle placements (rate 0 vs envelope 0) or silently disabled the check for
+// large working sets.
+func EnvelopeFeasible(rowsPerSec, maxRowsPerSec float64) bool {
+	return rowsPerSec <= maxRowsPerSec
 }
 
 // Save writes the profile as JSON.

@@ -8,6 +8,7 @@ import (
 
 	"kairos/internal/dbms"
 	"kairos/internal/disk"
+	"kairos/internal/polyfit"
 	"kairos/internal/series"
 )
 
@@ -374,5 +375,113 @@ func TestHybridDisk(t *testing.T) {
 	short := []*series.Series{constSeries(1e6, n-1)}
 	if _, err := e.HybridDisk(ws, rates, short, 30); err == nil {
 		t.Error("length mismatch accepted")
+	}
+}
+
+// syntheticEnvelopeProfile hand-writes a profile whose envelope goes
+// negative (and so clamps to 0) for large working sets, with a zero write
+// fit so envelope behavior is isolated from the write-budget check.
+func syntheticEnvelopeProfile() *DiskProfile {
+	return &DiskProfile{
+		Fit:         polyfit.Poly2D{Degree: 2, Coeffs: []float64{0, 0, 0, 0, 0, 0}},
+		Envelope:    polyfit.Poly1D{Coeffs: []float64{9000, -1.5}}, // 0 at 6000 MB
+		HasEnvelope: true,
+		WSMinMB:     100,
+		WSMaxMB:     100000,
+	}
+}
+
+// TestMaxRowsPerSecClampsNegativeEnvelope pins the clamp: beyond the
+// envelope's root the fitted quadratic goes negative and the sustainable
+// rate must read 0, not a negative rate.
+func TestMaxRowsPerSecClampsNegativeEnvelope(t *testing.T) {
+	p := syntheticEnvelopeProfile()
+	if got := p.MaxRowsPerSec(1000e6); got != 7500 {
+		t.Errorf("MaxRowsPerSec(1000 MB) = %v, want 7500", got)
+	}
+	if got := p.MaxRowsPerSec(50000e6); got != 0 {
+		t.Errorf("MaxRowsPerSec(50 GB) = %v, want 0 (clamped)", got)
+	}
+}
+
+// TestEnvelopeFeasibleBoundary pins the single boundary rule: exactly at
+// the envelope is feasible, strictly beyond is not, and a zero envelope
+// admits exactly the zero rate.
+func TestEnvelopeFeasibleBoundary(t *testing.T) {
+	cases := []struct {
+		rate, max float64
+		want      bool
+	}{
+		{0, 0, true},     // idle placement over a saturated working set
+		{0, 100, true},   // idle under headroom
+		{100, 100, true}, // exactly at the envelope
+		{100.01, 100, false},
+		{1, 0, false}, // any positive rate over a zero envelope
+	}
+	for _, c := range cases {
+		if got := EnvelopeFeasible(c.rate, c.max); got != c.want {
+			t.Errorf("EnvelopeFeasible(%v, %v) = %v, want %v", c.rate, c.max, got, c.want)
+		}
+	}
+}
+
+// TestDiskFeasibleZeroRateLargeWorkingSet is the regression test for the
+// spurious rejection this PR fixes: with the envelope clamped to 0 at a
+// large aggregate working set, an idle placement (update rate 0) used to
+// fail the old `rateSum >= MaxRowsPerSec` check — `0 >= 0` — even though
+// zero updates are trivially sustainable.
+func TestDiskFeasibleZeroRateLargeWorkingSet(t *testing.T) {
+	e := NewEstimator(syntheticEnvelopeProfile())
+	ws := []*series.Series{constSeries(30000e6, 3), constSeries(30000e6, 3)}
+	idle := []*series.Series{constSeries(0, 3), constSeries(0, 3)}
+	ok, err := e.DiskFeasible(ws, idle, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("idle workloads over a saturated working set must be disk-feasible")
+	}
+	// A positive rate over the zero envelope is genuinely unsustainable.
+	busy := []*series.Series{constSeries(10, 3), constSeries(10, 3)}
+	ok, err = e.DiskFeasible(ws, busy, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("positive update rate over a zero envelope must be infeasible")
+	}
+}
+
+// TestDiskFeasibleAtCapacityBoundaries verifies exactly-at-capacity is
+// feasible for both the write budget and the envelope, matching core's
+// objective semantics.
+func TestDiskFeasibleAtCapacityBoundaries(t *testing.T) {
+	// Fit: write MB/s = 0.001·rate; envelope flat at 5000 rows/sec.
+	p := &DiskProfile{
+		Fit:         polyfit.Poly2D{Degree: 2, Coeffs: []float64{0, 0, 0.001, 0, 0, 0}},
+		Envelope:    polyfit.Poly1D{Coeffs: []float64{5000}},
+		HasEnvelope: true,
+		WSMinMB:     100,
+		WSMaxMB:     10000,
+	}
+	e := NewEstimator(p)
+	ws := []*series.Series{constSeries(500e6, 2)}
+
+	// Exactly at the envelope: 5000 rows/sec.
+	atEnv := []*series.Series{constSeries(5000, 2)}
+	if ok, err := e.DiskFeasible(ws, atEnv, 1e12); err != nil || !ok {
+		t.Errorf("exactly-at-envelope = (%v, %v), want feasible", ok, err)
+	}
+	over := []*series.Series{constSeries(5000.5, 2)}
+	if ok, err := e.DiskFeasible(ws, over, 1e12); err != nil || ok {
+		t.Errorf("above-envelope = (%v, %v), want infeasible", ok, err)
+	}
+	// Exactly at the write budget: 1000 rows/sec → 1 MB/s = 1e6 B/s.
+	atBudget := []*series.Series{constSeries(1000, 2)}
+	if ok, err := e.DiskFeasible(ws, atBudget, 1e6); err != nil || !ok {
+		t.Errorf("exactly-at-budget = (%v, %v), want feasible", ok, err)
+	}
+	if ok, err := e.DiskFeasible(ws, atBudget, 0.999e6); err != nil || ok {
+		t.Errorf("above-budget = (%v, %v), want infeasible", ok, err)
 	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -112,6 +113,76 @@ func TestCDFQuantileInverseProperty(t *testing.T) {
 		got := c.At(v)
 		if got < q-0.02 || got > q+0.02 {
 			t.Errorf("At(Quantile(%v)) = %v, want ≈%v", q, got, q)
+		}
+	}
+}
+
+// TestCDFQuantileBoundaryTable pins the q=0 and q=1 boundary contract
+// across sample shapes: the extremes return the min/max sample exactly —
+// no out-of-range index, no interpolation artifact — including on
+// single-sample, duplicate-heavy and unsorted inputs.
+func TestCDFQuantileBoundaryTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"single q0", []float64{7}, 0, 7},
+		{"single q1", []float64{7}, 1, 7},
+		{"single mid", []float64{7}, 0.5, 7},
+		{"pair q0", []float64{3, 1}, 0, 1},
+		{"pair q1", []float64{3, 1}, 1, 3},
+		{"pair mid interpolates", []float64{3, 1}, 0.5, 2},
+		{"unsorted q0", []float64{5, -2, 9, 0}, 0, -2},
+		{"unsorted q1", []float64{5, -2, 9, 0}, 1, 9},
+		{"duplicates q0", []float64{4, 4, 4}, 0, 4},
+		{"duplicates q1", []float64{4, 4, 4}, 1, 4},
+		{"negative q clamps to min", []float64{2, 8}, -3, 2},
+		{"q above one clamps to max", []float64{2, 8}, 3, 8},
+		{"near-zero q stays at min", []float64{10, 20, 30}, 1e-12, 10},
+		{"near-one q stays within max", []float64{10, 20, 30}, 1 - 1e-12, 30},
+	}
+	for _, c := range cases {
+		cdf := NewCDF(c.xs)
+		got := cdf.Quantile(c.q)
+		// Near-boundary quantiles interpolate but must never leave the
+		// sample range; exact boundaries must hit min/max exactly.
+		if c.q > 0 && c.q < 1 {
+			if got < cdf.Quantile(0) || got > cdf.Quantile(1) {
+				t.Errorf("%s: Quantile(%v) = %v escapes sample range", c.name, c.q, got)
+			}
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+// TestCDFQuantileMatchesMinMax cross-checks the boundary contract against
+// random samples: for any sample, Quantile(0) == min and Quantile(1) == max
+// bit for bit.
+func TestCDFQuantileMatchesMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e3
+			if xs[i] < mn {
+				mn = xs[i]
+			}
+			if xs[i] > mx {
+				mx = xs[i]
+			}
+		}
+		c := NewCDF(xs)
+		if got := c.Quantile(0); got != mn {
+			t.Fatalf("trial %d: Quantile(0) = %v, want min %v", trial, got, mn)
+		}
+		if got := c.Quantile(1); got != mx {
+			t.Fatalf("trial %d: Quantile(1) = %v, want max %v", trial, got, mx)
 		}
 	}
 }

@@ -80,6 +80,9 @@ type (
 	PartitionedSolution = core.PartitionedSolution
 	// ShardOptions configures ConsolidateFleet's sharded solver.
 	ShardOptions = core.ShardOptions
+	// Incumbent is a saved consolidation plan used to warm-start
+	// Reconsolidate (rolling re-consolidation).
+	Incumbent = core.Incumbent
 )
 
 // DefaultOptions returns the standard solver budgets.
@@ -91,6 +94,11 @@ func DefaultOptions() SolveOptions { return core.DefaultSolveOptions() }
 // values concurrently. Plans are identical to the sequential solver's —
 // parallelism only changes wall-clock time.
 func ParallelOptions() SolveOptions { return core.ParallelSolveOptions() }
+
+// DefaultResolveOptions returns the standard knobs for warm-started
+// re-consolidation: DefaultOptions plus a small migration weight, so
+// re-solved plans stay sticky under workload drift without freezing.
+func DefaultResolveOptions() SolveOptions { return core.DefaultResolveOptions() }
 
 // QuickProfiler returns a reduced hardware sweep that builds a usable disk
 // profile in a few seconds of wall-clock time (the full DefaultProfiler
@@ -124,6 +132,19 @@ type Plan struct {
 	Loads []core.ServerLoad
 	// Names maps unit index to workload name.
 	Names []string
+
+	// incumbent is the plan's durable form, captured at construction (only
+	// workload and machine names are retained — not the problem's series).
+	incumbent *Incumbent
+}
+
+// Incumbent returns the plan in a durable form for later warm-started
+// re-solves: save it with Incumbent().Save, reload with core.LoadIncumbent
+// (or `kairos consolidate -save-plan` / `-resolve` on the command line),
+// and pass it to Reconsolidate once the fleet's traces have drifted. Nil
+// for Plans not produced by this package's constructors.
+func (p *Plan) Incumbent() *Incumbent {
+	return p.incumbent
 }
 
 // Consolidate solves the placement problem: assign every workload (and its
@@ -168,10 +189,29 @@ func newPlan(p *Problem, sol *Solution) (*Plan, error) {
 		}
 	}
 	return &Plan{
-		Solution: sol,
-		Loads:    ev.Report(sol.Assign, sol.K),
-		Names:    names,
+		Solution:  sol,
+		Loads:     ev.Report(sol.Assign, sol.K),
+		Names:     names,
+		incumbent: core.IncumbentFromSolution(p, sol),
 	}, nil
+}
+
+// Reconsolidate re-solves a drifted fleet warm-started from an incumbent
+// plan (rolling re-consolidation): the solver seeds from the incumbent's
+// placements, charges each unit that moves off its incumbent machine a
+// migration cost scaled by its working-set size
+// (SolveOptions.MigrationWeight, optionally capped by MaxMigrations), and
+// polishes with move+swap local search — no global DIRECT run. On mild
+// drift this matches or beats a cold Consolidate at a fraction of the
+// evaluations while migrating only a small fraction of the fleet. The
+// returned plan's Migrated and MigrationCost fields report the churn.
+func Reconsolidate(workloads []Workload, machines []Machine, dp *DiskProfile, inc *Incumbent, opt SolveOptions) (*Plan, error) {
+	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
+	sol, err := core.Resolve(p, inc, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(p, sol)
 }
 
 // String renders the plan as a human-readable placement table.
