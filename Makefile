@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-hot bench-resolve lint fmt ci
+.PHONY: build test test-full race bench bench-hot bench-resolve bench-json lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # Hill-climb hot path: candidate-move pricing with the incremental
-# LoadState engine vs the scratch evaluator, with allocation stats. The
-# loadstate case must stay at 0 allocs/op and ≥5x the scratch speed on the
-# 197-server fleet; tracked per PR.
+# LoadState engine vs the scratch evaluator, plus the coarse-to-fine
+# screened sweep vs the unscreened one, with allocation stats. The
+# loadstate case must stay at 0 allocs/op and ≥5x the scratch speed, and
+# the screened move+swap sweep at 0 allocs/op and ≥3x the unscreened
+# sweep (sweep-speedup metric) on the 197-server fleet; tracked per PR.
 bench-hot:
-	$(GO) test -bench='LoadState' -benchmem -benchtime=10x -run='^$$' .
+	$(GO) test -bench='LoadState|Coarse' -benchmem -benchtime=10x -run='^$$' .
+
+# Machine-readable bench trajectory: the sweep benchmarks above as JSON
+# (ns/op, allocs/op, fevals, sweep-speedup per case) in BENCH_sweeps.json,
+# uploaded as a CI artifact so per-PR perf history accumulates.
+bench-json:
+	$(GO) test -bench='LoadState|Coarse' -benchmem -benchtime=10x -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sweeps.json
+	@echo wrote BENCH_sweeps.json
 
 # Rolling re-consolidation: warm-started Resolve on the drifted 197-server
 # fleet vs a cold solve, plus the memoized disk-envelope pricing sweep.

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON for per-PR performance trajectories. It reads benchmark output on
+// stdin and writes a JSON document to stdout:
+//
+//	go test -bench='Sweep' -benchmem -benchtime=10x -run='^$' . | benchjson
+//
+// Every benchmark result line becomes one entry with its iteration count
+// and a metrics map (ns/op, B/op, allocs/op, plus any custom metrics such
+// as sweep-speedup or fevals). Environment header lines (goos, goarch,
+// pkg, cpu) are captured as metadata. Lines that are not benchmark results
+// are ignored, so the tool can sit at the end of any `go test` pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name, including sub-benchmarks and the
+	// -cpu suffix (e.g. "BenchmarkCoarseScreenedSweep/screened-16").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "<value> <unit>" pair on the
+	// line: ns/op, B/op, allocs/op and custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Meta holds the environment header lines go test prints (goos,
+	// goarch, pkg, cpu) when present.
+	Meta map[string]string `json:"meta,omitempty"`
+	// Results lists every parsed benchmark line in input order.
+	Results []Result `json:"results"`
+}
+
+func main() {
+	doc := Doc{Meta: map[string]string{}, Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := headerLine(line); ok {
+			doc.Meta[k] = v
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(doc.Meta) == 0 {
+		doc.Meta = nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: writing JSON:", err)
+		os.Exit(1)
+	}
+}
+
+// headerLine recognizes the "key: value" environment lines of go test
+// benchmark output.
+func headerLine(line string) (key, value string, ok bool) {
+	for _, k := range [...]string{"goos", "goarch", "pkg", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+":"); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkName-16  10  123456 ns/op  42 fevals  0 B/op  0 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

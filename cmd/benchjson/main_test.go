@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkCoarseScreenedSweep/screened-16         \t      10\t  15015811 ns/op\t      2098 fevals\t         6.061 sweep-speedup\t       0 B/op\t       0 allocs/op"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkCoarseScreenedSweep/screened-16" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Iterations != 10 {
+		t.Fatalf("iterations = %d", r.Iterations)
+	}
+	want := map[string]float64{
+		"ns/op": 15015811, "fevals": 2098, "sweep-speedup": 6.061, "B/op": 0, "allocs/op": 0,
+	}
+	for unit, v := range want {
+		if got := r.Metrics[unit]; got != v {
+			t.Fatalf("metric %q = %v, want %v", unit, got, v)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tkairos\t1.2s",
+		"BenchmarkBroken",
+		"BenchmarkBroken notanumber",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line %q parsed as a result", line)
+		}
+	}
+}
+
+func TestHeaderLine(t *testing.T) {
+	k, v, ok := headerLine("cpu: Intel(R) Xeon(R) Processor @ 2.70GHz")
+	if !ok || k != "cpu" || v != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Fatalf("got %q/%q/%v", k, v, ok)
+	}
+	if _, _, ok := headerLine("PASS"); ok {
+		t.Fatal("PASS recognized as header")
+	}
+}

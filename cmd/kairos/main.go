@@ -175,6 +175,7 @@ func cmdConsolidate(args []string) error {
 	headroom := fs.Float64("headroom", 0.05, "per-machine safety margin")
 	verbose := fs.Bool("v", false, "print the full placement")
 	parallel := fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)")
+	bucket := fs.Int("bucket", 0, "coarse-pricing bucket width in time steps for the move screen (0 = default T/16, negative = screen off); plans are identical for every setting")
 	shards := fs.Int("shards", 0, "split the fleet into this many correlation-aware shards solved concurrently (0 = single global solve)")
 	savePlan := fs.String("save-plan", "", "write the computed plan to this JSON file for later -resolve runs")
 	resolvePath := fs.String("resolve", "", "warm-start from a plan saved with -save-plan instead of solving cold (rolling re-consolidation)")
@@ -217,6 +218,7 @@ func cmdConsolidate(args []string) error {
 	case *parallel > 1:
 		opt.Workers = *parallel
 	}
+	opt.BucketWidth = *bucket
 	var plan *kairos.Plan
 	switch {
 	case *resolvePath != "":

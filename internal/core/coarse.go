@@ -1,0 +1,751 @@
+package core
+
+import (
+	"math"
+)
+
+// This file implements the coarse-to-fine pricing subsystem: bucketed
+// time-axis aggregates that give provably sound lower/upper bounds on a
+// machine's peak loads — and therefore on its objective contribution — in
+// O(T/B) instead of O(T). Local search screens every candidate move or
+// swap against the coarse lower bound and only falls through to exact O(T)
+// pricing when the bound cannot rule the candidate out, so accepted plans
+// are bit-identical to the unscreened search (a pruned candidate is one
+// whose priced delta provably could not have beaten the best so far).
+//
+// The same screen-cheap-then-pay-full-resolution discipline shows up in
+// workload-compression work (Deep et al., "Comprehensive and Efficient
+// Workload Compression") and in WiSeDB's cost-bound screening: the bucket
+// tables are a lossy compression of the demand series that preserves
+// exactly the signal the placement objective needs — where peaks can land.
+//
+// Soundness discipline (bit-level, not just mathematical):
+//
+//   - Per-unit tables store max/min over each bucket of fl(scale·demand[t])
+//     — the very products the exact pricers form — so each table entry
+//     dominates (or is dominated by) every per-step term it summarizes.
+//   - Per-machine bucket aggregates are accumulated in member-list order,
+//     exactly like the canonical sums. Floating-point addition is monotone,
+//     so summing termwise-dominating values in the same order yields a
+//     bound that dominates the exact aggregate at every step of the bucket,
+//     bit for bit. They are re-materialized alongside the canonical sums,
+//     never updated subtractively.
+//   - Candidate bounds mirror the exact scratch fills' expression shapes
+//     (fill, fillExchange), again op-by-op monotone.
+//   - The only non-monotone ingredients — the fitted disk polynomial and
+//     the saturation envelope — enter the lower bound only when their
+//     monotonicity over the observed operating range is verified at
+//     evaluator construction (their derivatives are affine for the
+//     degree-2 fits the profiler produces, so corner checks suffice), and
+//     are then guarded by small slack terms covering polynomial-evaluation
+//     rounding. Otherwise they contribute a trivially sound zero to the
+//     lower bound (violations are non-negative) and +Inf to the upper.
+//   - Variable-length violation accumulations regroup terms relative to
+//     the exact pricer, so the summed lower bound is deflated (and the
+//     upper inflated) by coarseViolSlack, far above any regrouping error.
+
+// defaultBucketDiv sets the default bucket width to ⌈T/16⌉ time steps, so
+// a series is summarized by at most 16 (max, min) pairs per resource.
+const defaultBucketDiv = 16
+
+// coarseViolSlack covers floating-point regrouping between the exact
+// pricer's single interleaved violation accumulation and the bound's
+// component-wise one (relative error ≲ T·ε ≈ 1e-13 for day-length series).
+const coarseViolSlack = 1e-12
+
+// coarse holds the immutable bucketed demand tables of an evaluator. All
+// per-unit arrays are flat with stride nb: unit u's bucket b lives at
+// u·nb + b. hi entries are per-bucket maxima of fl(scale·demand), lo
+// entries per-bucket minima.
+type coarse struct {
+	nb    int // number of buckets
+	width int // bucket width in time steps (last bucket may be shorter)
+
+	hiCPU, loCPU   []float64
+	hiRAM, loRAM   []float64
+	hiWS, loWS     []float64
+	hiRate, loRate []float64
+
+	// diskMono reports that PredictWriteMBps is verified non-decreasing in
+	// both arguments over the observed operating box, enabling finite disk
+	// bounds; envMono that the envelope is verified non-increasing in the
+	// working set, enabling a non-zero envelope-violation lower bound.
+	diskMono bool
+	envMono  bool
+	// diskSlack and envSlack are absolute rounding guards for evaluating
+	// the respective polynomials anywhere in the operating box.
+	diskSlack float64
+	envSlack  float64
+}
+
+// bucketLen returns how many time steps bucket b covers.
+func (co *coarse) bucketLen(b, T int) int {
+	n := T - b*co.width
+	if n > co.width {
+		n = co.width
+	}
+	return n
+}
+
+// SetBucketWidth configures the coarse-pricing bucket width in time steps:
+// 0 restores the default (⌈T/16⌉), a positive width is used as given
+// (clamped to T), and a negative width disables coarse screening entirely,
+// so local search prices every candidate exactly. Rebuilding the tables
+// costs O(units·T). Call it before creating LoadStates or Clones from this
+// evaluator; it is not safe to call concurrently with pricing.
+func (ev *Evaluator) SetBucketWidth(width int) {
+	if width < 0 {
+		ev.coarse = nil
+		return
+	}
+	w := width
+	if w == 0 {
+		w = (ev.T + defaultBucketDiv - 1) / defaultBucketDiv
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > ev.T {
+		w = ev.T
+	}
+	ev.coarse = buildCoarse(ev, w)
+}
+
+// BucketWidth returns the active coarse bucket width in time steps, or 0
+// when screening is disabled.
+func (ev *Evaluator) BucketWidth() int {
+	if ev.coarse == nil {
+		return 0
+	}
+	return ev.coarse.width
+}
+
+// buildCoarse computes the per-unit bucket tables and verifies disk-model
+// monotonicity over the observed operating range.
+func buildCoarse(ev *Evaluator, width int) *coarse {
+	T := ev.T
+	nU := len(ev.units)
+	nb := (T + width - 1) / width
+	co := &coarse{
+		nb:     nb,
+		width:  width,
+		hiCPU:  make([]float64, nU*nb),
+		loCPU:  make([]float64, nU*nb),
+		hiRAM:  make([]float64, nU*nb),
+		loRAM:  make([]float64, nU*nb),
+		hiWS:   make([]float64, nU*nb),
+		loWS:   make([]float64, nU*nb),
+		hiRate: make([]float64, nU*nb),
+		loRate: make([]float64, nU*nb),
+	}
+	fillOne := func(hi, lo []float64, vals []float64, k float64, uo int) {
+		for b := 0; b < nb; b++ {
+			start := b * width
+			end := start + co.bucketLen(b, T)
+			mx, mn := k*vals[start], k*vals[start]
+			for t := start + 1; t < end; t++ {
+				v := k * vals[t]
+				if v > mx {
+					mx = v
+				}
+				if v < mn {
+					mn = v
+				}
+			}
+			hi[uo+b], lo[uo+b] = mx, mn
+		}
+	}
+	for u := 0; u < nU; u++ {
+		k := ev.scale[u]
+		uo := u * nb
+		fillOne(co.hiCPU, co.loCPU, ev.cpu[u], k, uo)
+		fillOne(co.hiRAM, co.loRAM, ev.ram[u], k, uo)
+		fillOne(co.hiWS, co.loWS, ev.ws[u], k, uo)
+		fillOne(co.hiRate, co.loRate, ev.rate[u], k, uo)
+	}
+	co.verifyDiskMonotone(ev)
+	return co
+}
+
+// verifyDiskMonotone checks, over the operating box the fleet can actually
+// reach, that the fitted disk polynomial is non-decreasing in both working
+// set and rate, and that the envelope is non-increasing in working set.
+// Both fits are degree ≤ 2, so their partial derivatives are affine and
+// corner evaluation is exact verification; anything of higher degree is
+// conservatively treated as non-monotone. The absolute slack terms bound
+// the rounding of any polynomial evaluation inside the box.
+func (co *coarse) verifyDiskMonotone(ev *Evaluator) {
+	d := ev.p.Disk
+	if d == nil {
+		return
+	}
+	// Aggregate operating ranges: a machine's working set / rate can never
+	// exceed the sum of every unit's bucket maxima, padded for accumulation
+	// rounding. Any negative demand disables the disk bounds outright: the
+	// bound paths clamp their bucket aggregates into [0, Σmax] before
+	// evaluating the polynomials (the subtractive remove/exchange
+	// aggregates dip below zero whenever a demand varies inside a bucket,
+	// and the fits are only verified over this box — evaluated far outside
+	// it a quadratic term can explode and break the bound), and that clamp
+	// is only sound when every unit's scaled demand is non-negative.
+	var wsHiA, rateHiA float64
+	for u := range ev.units {
+		uo := u * co.nb
+		uMaxWS, uMinWS := co.hiWS[uo], co.loWS[uo]
+		uMaxR, uMinR := co.hiRate[uo], co.loRate[uo]
+		for b := 1; b < co.nb; b++ {
+			uMaxWS = math.Max(uMaxWS, co.hiWS[uo+b])
+			uMinWS = math.Min(uMinWS, co.loWS[uo+b])
+			uMaxR = math.Max(uMaxR, co.hiRate[uo+b])
+			uMinR = math.Min(uMinR, co.loRate[uo+b])
+		}
+		if uMinWS < 0 || uMinR < 0 {
+			return // negative demand: zero-lower/Inf-upper fallback only
+		}
+		wsHiA += uMaxWS
+		rateHiA += uMaxR
+	}
+	pad := func(v float64) float64 { return v + 0.001*math.Abs(v) + 1 }
+	wsHiA, rateHiA = pad(wsHiA), pad(rateHiA)
+	// The box floor sits just below zero, so the clamped-at-0 bound
+	// aggregates — and the sub-ulp-negative exact aggregates the slack
+	// terms absorb — are interior to the verified range.
+	wsLoA, rateLoA := -1.0, -1.0
+
+	// The polynomial sees working sets in MB, clamped into the fitted range
+	// (clamping is monotone, so it preserves — never creates — monotonicity).
+	xLo, xHi := wsLoA/1e6, wsHiA/1e6
+	if d.WSMaxMB > d.WSMinMB {
+		xLo, xHi = d.WSMinMB, d.WSMaxMB
+	}
+	yLo, yHi := rateLoA, rateHiA
+
+	c := fitCoeffs(d.Fit.Coeffs, d.Fit.Degree)
+	if c != nil {
+		// ∂f/∂x = c1 + 2·c3·x + c4·y and ∂f/∂y = c2 + c4·x + 2·c5·y are
+		// affine, so non-negativity at the four corners proves it on the box.
+		dx := func(x, y float64) float64 { return c[1] + 2*c[3]*x + c[4]*y }
+		dy := func(x, y float64) float64 { return c[2] + c[4]*x + 2*c[5]*y }
+		co.diskMono = true
+		for _, x := range [2]float64{xLo, xHi} {
+			for _, y := range [2]float64{yLo, yHi} {
+				if !(dx(x, y) >= 0) || !(dy(x, y) >= 0) {
+					co.diskMono = false
+				}
+			}
+		}
+		if co.diskMono {
+			co.diskSlack = polyAbsSlack2D(c, xLo, xHi, yLo, yHi)
+		}
+	}
+	if d.HasEnvelope {
+		e := d.Envelope.Coeffs
+		if len(e) <= 3 {
+			var e3 [3]float64
+			copy(e3[:], e)
+			// env' = e1 + 2·e2·x is affine: non-positive at both ends proves
+			// the envelope non-increasing over the clamped range.
+			if e3[1]+2*e3[2]*xLo <= 0 && e3[1]+2*e3[2]*xHi <= 0 {
+				co.envMono = true
+				xa := math.Max(math.Abs(xLo), math.Abs(xHi))
+				co.envSlack = 1e-12 * (math.Abs(e3[0]) + math.Abs(e3[1])*xa + math.Abs(e3[2])*xa*xa)
+			}
+		}
+	}
+}
+
+// fitCoeffs returns the six degree-2 coefficients (1, x, y, x², xy, y²) of
+// a Poly2D, or nil when the fit's degree exceeds 2 (monotonicity is then
+// not verifiable by corner checks).
+func fitCoeffs(coeffs []float64, degree int) *[6]float64 {
+	if degree > 2 || len(coeffs) > 6 {
+		return nil
+	}
+	var c [6]float64
+	copy(c[:], coeffs)
+	return &c
+}
+
+// polyAbsSlack2D bounds the absolute rounding error of evaluating the
+// degree-2 polynomial anywhere in the box, with two orders of magnitude of
+// margin: 1e-12 · Σ|cᵢ|·|termᵢ|max versus the ≈ 10·ε ≈ 2e-15 a six-term
+// Horner-free evaluation can actually accumulate.
+func polyAbsSlack2D(c *[6]float64, xLo, xHi, yLo, yHi float64) float64 {
+	xa := math.Max(math.Abs(xLo), math.Abs(xHi))
+	ya := math.Max(math.Abs(yLo), math.Abs(yHi))
+	m := math.Abs(c[0]) + math.Abs(c[1])*xa + math.Abs(c[2])*ya +
+		math.Abs(c[3])*xa*xa + math.Abs(c[4])*xa*ya + math.Abs(c[5])*ya*ya
+	return 1e-12 * m
+}
+
+// boundSums is the coarse counterpart of evalSums: it prices one side
+// (lower or upper) of machine j's contribution from bucketed aggregate
+// vectors. cpuPeak and ramPeak are the bucket-maximized peak bounds; wsB
+// and rateB hold the per-bucket aggregate bounds for the disk terms (nil
+// when the problem has no disk model). The violation accumulation mirrors
+// evalSums' term order, then deflates (lower) or inflates (upper) by
+// coarseViolSlack so regrouping rounding can never flip the domination.
+// Zero allocations.
+func (ev *Evaluator) boundSums(j int, cpuPeak, ramPeak float64, wsB, rateB []float64, slaCap float64, upper bool) (viol, norm float64) {
+	co := ev.coarse
+	cpuCap := ev.capCPU[j]
+	ramCap := ev.capRAM[j]
+	if cpuPeak > cpuCap {
+		viol += (cpuPeak - cpuCap) / cpuCap
+	}
+	if ramPeak > ramCap {
+		viol += (ramPeak - ramCap) / ramCap
+	}
+
+	var diskNorm float64
+	if ev.p.Disk != nil {
+		diskCap := ev.capDisk[j]
+		var diskPeak float64
+		T := float64(ev.T)
+		switch {
+		case upper && !co.diskMono:
+			diskPeak = math.Inf(1)
+		case upper:
+			for b, ws := range wsB {
+				if pred := ev.p.Disk.PredictWriteMBps(ws, rateB[b]); pred > diskPeak {
+					diskPeak = pred
+				}
+			}
+			diskPeak = (diskPeak + co.diskSlack) * 1e6
+		case co.diskMono:
+			for b, ws := range wsB {
+				if pred := ev.p.Disk.PredictWriteMBps(ws, rateB[b]); pred > diskPeak {
+					diskPeak = pred
+				}
+			}
+			diskPeak = (diskPeak - co.diskSlack) * 1e6
+			if diskPeak < 0 {
+				diskPeak = 0
+			}
+		}
+		if ev.p.Disk.HasEnvelope {
+			// Envelope violations accumulate per bucket. Lower side: only
+			// when the envelope is verified non-increasing can "every step
+			// of the bucket violates" be certified, using the inflated
+			// envelope at the bucket's working-set lower bound. Upper side:
+			// the envelope at the bucket's working-set upper bound (deflated)
+			// under-states every step's sustainable rate when monotone;
+			// otherwise a zero envelope (its hard floor) does.
+			for b, ws := range wsB {
+				rate := rateB[b]
+				var env float64
+				switch {
+				case !upper && co.envMono:
+					env = ev.p.Disk.MaxRowsPerSec(ws) + co.envSlack
+				case !upper:
+					continue // zero lower bound for the envelope term
+				case co.envMono:
+					env = ev.p.Disk.MaxRowsPerSec(ws) - co.envSlack
+					if env < 0 {
+						env = 0
+					}
+				default:
+					env = 0
+				}
+				if rate > env {
+					den := env
+					if den < envRateFloor {
+						den = envRateFloor
+					}
+					viol += float64(co.bucketLen(b, ev.T)) * (rate - env) / den / T
+				}
+			}
+		}
+		if diskPeak > diskCap {
+			viol += (diskPeak - diskCap) / diskCap
+		}
+		diskNorm = diskPeak / diskCap
+	}
+
+	if slaCap < 1 {
+		util := cpuPeak / cpuCap
+		if r := ramPeak / ramCap; r > util {
+			util = r
+		}
+		if diskNorm > util {
+			util = diskNorm
+		}
+		if util > slaCap {
+			viol += (util - slaCap) / slaCap
+		}
+	}
+
+	if upper {
+		viol *= 1 + coarseViolSlack
+	} else {
+		viol *= 1 - coarseViolSlack
+	}
+
+	w := ev.weights
+	denom := w.CPU + w.RAM + w.Disk
+	dterm := w.Disk * diskNorm
+	if math.IsNaN(dterm) {
+		// 0 · Inf from the unbounded upper disk peak under a zero disk
+		// weight; the exact term is exactly 0 there.
+		dterm = 0
+	}
+	norm = (w.CPU*cpuPeak/cpuCap + w.RAM*ramPeak/ramCap + dterm) / denom
+	if norm > 1 {
+		norm = 1
+	}
+	if norm < 0 {
+		norm = 0
+	}
+	return viol, norm
+}
+
+// rematBuckets rebuilds machine j's bucketed aggregate bounds from its
+// member list, accumulating in member-list order exactly like the
+// canonical sums — the property that keeps every bucket aggregate a
+// bit-level bound on the canonical aggregate at every step it covers.
+// Called from rematerialize, so the bounds stay in lockstep with the sums.
+func (ls *LoadState) rematBuckets(j int) {
+	co := ls.co
+	nb := co.nb
+	jo := j * nb
+	for b := 0; b < nb; b++ {
+		ls.bHiCPU[jo+b], ls.bLoCPU[jo+b] = 0, 0
+		ls.bHiRAM[jo+b], ls.bLoRAM[jo+b] = 0, 0
+		ls.bHiWS[jo+b], ls.bLoWS[jo+b] = 0, 0
+		ls.bHiRate[jo+b], ls.bLoRate[jo+b] = 0, 0
+	}
+	for _, u := range ls.members[j] {
+		uo := u * nb
+		for b := 0; b < nb; b++ {
+			ls.bHiCPU[jo+b] += co.hiCPU[uo+b]
+			ls.bLoCPU[jo+b] += co.loCPU[uo+b]
+			ls.bHiRAM[jo+b] += co.hiRAM[uo+b]
+			ls.bLoRAM[jo+b] += co.loRAM[uo+b]
+			ls.bHiWS[jo+b] += co.hiWS[uo+b]
+			ls.bLoWS[jo+b] += co.loWS[uo+b]
+			ls.bHiRate[jo+b] += co.hiRate[uo+b]
+			ls.bLoRate[jo+b] += co.loRate[uo+b]
+		}
+	}
+}
+
+// Screened reports whether the coarse screen is active for this state
+// (the evaluator had coarse tables when the state was built).
+func (ls *LoadState) Screened() bool { return ls.co != nil }
+
+// boundAddSide computes one side of the coarse bound on machine j's
+// violation and normalized load as if unit u were appended, mirroring
+// fill's expression shape bucket-wise. Zero allocations.
+func (ls *LoadState) boundAddSide(u, j int, upper bool) (viol, norm float64) {
+	co, ev := ls.co, ls.ev
+	nb := co.nb
+	uo, jo := u*nb, j*nb
+	var cpuPeak, ramPeak float64
+	var wsB, rateB []float64
+	if upper {
+		for b := 0; b < nb; b++ {
+			if v := ls.bHiCPU[jo+b] + co.hiCPU[uo+b]; v > cpuPeak {
+				cpuPeak = v
+			}
+			if v := ls.bHiRAM[jo+b] + co.hiRAM[uo+b]; v > ramPeak {
+				ramPeak = v
+			}
+		}
+	} else {
+		for b := 0; b < nb; b++ {
+			if v := ls.bLoCPU[jo+b] + co.loCPU[uo+b]; v > cpuPeak {
+				cpuPeak = v
+			}
+			if v := ls.bLoRAM[jo+b] + co.loRAM[uo+b]; v > ramPeak {
+				ramPeak = v
+			}
+		}
+		// Point refinement: the candidate aggregate evaluated exactly at
+		// the machine's current peak steps — the same expression fill
+		// computes there — is a value the true maximum can only exceed.
+		// On spiky traces it is far tighter than the bucket minima.
+		k := ev.scale[u]
+		cj, rj := ls.cpu[j], ls.ram[j]
+		cu, ru := ev.cpu[u], ev.ram[u]
+		if t := ls.argCPU[j]; cj[t]+k*cu[t] > cpuPeak {
+			cpuPeak = cj[t] + k*cu[t]
+		}
+		if t := ls.argRAM[j]; rj[t]+k*ru[t] > ramPeak {
+			ramPeak = rj[t] + k*ru[t]
+		}
+	}
+	if ev.p.Disk != nil {
+		wsB, rateB = ls.sbWS, ls.sbRate
+		if upper {
+			for b := 0; b < nb; b++ {
+				wsB[b] = ls.bHiWS[jo+b] + co.hiWS[uo+b]
+				rateB[b] = ls.bHiRate[jo+b] + co.hiRate[uo+b]
+			}
+		} else {
+			for b := 0; b < nb; b++ {
+				wsB[b] = ls.bLoWS[jo+b] + co.loWS[uo+b]
+				rateB[b] = ls.bLoRate[jo+b] + co.loRate[uo+b]
+			}
+		}
+	}
+	cap := ls.slaCap[j]
+	if c := ev.slaCapU[u]; c < cap {
+		cap = c
+	}
+	return ev.boundSums(j, cpuPeak, ramPeak, wsB, rateB, cap, upper)
+}
+
+// boundRemoveSide mirrors PriceRemove's subtractive fill: one side of the
+// coarse bound on unit u's machine as if u left it.
+func (ls *LoadState) boundRemoveSide(u int, upper bool) (viol, norm float64) {
+	co, ev := ls.co, ls.ev
+	from := ls.assign[u]
+	nb := co.nb
+	uo, jo := u*nb, from*nb
+	var cpuPeak, ramPeak float64
+	var wsB, rateB []float64
+	if upper {
+		for b := 0; b < nb; b++ {
+			if v := ls.bHiCPU[jo+b] - co.loCPU[uo+b]; v > cpuPeak {
+				cpuPeak = v
+			}
+			if v := ls.bHiRAM[jo+b] - co.loRAM[uo+b]; v > ramPeak {
+				ramPeak = v
+			}
+		}
+	} else {
+		for b := 0; b < nb; b++ {
+			if v := ls.bLoCPU[jo+b] - co.hiCPU[uo+b]; v > cpuPeak {
+				cpuPeak = v
+			}
+			if v := ls.bLoRAM[jo+b] - co.hiRAM[uo+b]; v > ramPeak {
+				ramPeak = v
+			}
+		}
+		// Point refinement at the current peak steps, mirroring
+		// PriceRemove's subtractive fill expression there.
+		k := ev.scale[u]
+		cj, rj := ls.cpu[from], ls.ram[from]
+		cu, ru := ev.cpu[u], ev.ram[u]
+		if t := ls.argCPU[from]; cj[t]-k*cu[t] > cpuPeak {
+			cpuPeak = cj[t] - k*cu[t]
+		}
+		if t := ls.argRAM[from]; rj[t]-k*ru[t] > ramPeak {
+			ramPeak = rj[t] - k*ru[t]
+		}
+	}
+	if ev.p.Disk != nil {
+		wsB, rateB = ls.sbWS, ls.sbRate
+		if upper {
+			for b := 0; b < nb; b++ {
+				wsB[b] = ls.bHiWS[jo+b] - co.loWS[uo+b]
+				rateB[b] = ls.bHiRate[jo+b] - co.loRate[uo+b]
+			}
+		} else {
+			// Subtractive lower aggregates dip below zero when a demand
+			// varies inside a bucket; clamp into the verified operating
+			// box (sound: the exact aggregates are non-negative whenever
+			// the disk bounds are enabled, see verifyDiskMonotone).
+			for b := 0; b < nb; b++ {
+				if wsB[b] = ls.bLoWS[jo+b] - co.hiWS[uo+b]; wsB[b] < 0 {
+					wsB[b] = 0
+				}
+				if rateB[b] = ls.bLoRate[jo+b] - co.hiRate[uo+b]; rateB[b] < 0 {
+					rateB[b] = 0
+				}
+			}
+		}
+	}
+	cap := 1.0
+	for _, m := range ls.members[from] {
+		if m == u {
+			continue
+		}
+		if c := ev.slaCapU[m]; c < cap {
+			cap = c
+		}
+	}
+	return ev.boundSums(from, cpuPeak, ramPeak, wsB, rateB, cap, upper)
+}
+
+// boundExchangeSide mirrors fillExchange's expression shape: one side of
+// the coarse bound on machine j's state after its member `out` leaves and
+// unit `in` arrives.
+func (ls *LoadState) boundExchangeSide(j, out, in int, upper bool) (viol, norm float64) {
+	co, ev := ls.co, ls.ev
+	nb := co.nb
+	oo, io, jo := out*nb, in*nb, j*nb
+	var cpuPeak, ramPeak float64
+	var wsB, rateB []float64
+	if upper {
+		for b := 0; b < nb; b++ {
+			if v := ls.bHiCPU[jo+b] - co.loCPU[oo+b] + co.hiCPU[io+b]; v > cpuPeak {
+				cpuPeak = v
+			}
+			if v := ls.bHiRAM[jo+b] - co.loRAM[oo+b] + co.hiRAM[io+b]; v > ramPeak {
+				ramPeak = v
+			}
+		}
+	} else {
+		for b := 0; b < nb; b++ {
+			if v := ls.bLoCPU[jo+b] - co.hiCPU[oo+b] + co.loCPU[io+b]; v > cpuPeak {
+				cpuPeak = v
+			}
+			if v := ls.bLoRAM[jo+b] - co.hiRAM[oo+b] + co.loRAM[io+b]; v > ramPeak {
+				ramPeak = v
+			}
+		}
+		// Point refinement at the current peak steps, mirroring
+		// fillExchange's expression there.
+		ko, ki := ev.scale[out], ev.scale[in]
+		cj, rj := ls.cpu[j], ls.ram[j]
+		cuo, ruo := ev.cpu[out], ev.ram[out]
+		cui, rui := ev.cpu[in], ev.ram[in]
+		if t := ls.argCPU[j]; cj[t]-ko*cuo[t]+ki*cui[t] > cpuPeak {
+			cpuPeak = cj[t] - ko*cuo[t] + ki*cui[t]
+		}
+		if t := ls.argRAM[j]; rj[t]-ko*ruo[t]+ki*rui[t] > ramPeak {
+			ramPeak = rj[t] - ko*ruo[t] + ki*rui[t]
+		}
+	}
+	if ev.p.Disk != nil {
+		wsB, rateB = ls.sbWS, ls.sbRate
+		if upper {
+			for b := 0; b < nb; b++ {
+				wsB[b] = ls.bHiWS[jo+b] - co.loWS[oo+b] + co.hiWS[io+b]
+				rateB[b] = ls.bHiRate[jo+b] - co.loRate[oo+b] + co.hiRate[io+b]
+			}
+		} else {
+			// Clamped like boundRemoveSide: the subtractive aggregates
+			// must stay inside the polynomials' verified operating box.
+			for b := 0; b < nb; b++ {
+				if wsB[b] = ls.bLoWS[jo+b] - co.hiWS[oo+b] + co.loWS[io+b]; wsB[b] < 0 {
+					wsB[b] = 0
+				}
+				if rateB[b] = ls.bLoRate[jo+b] - co.hiRate[oo+b] + co.loRate[io+b]; rateB[b] < 0 {
+					rateB[b] = 0
+				}
+			}
+		}
+	}
+	cap := 1.0
+	for _, m := range ls.members[j] {
+		if m == out {
+			continue
+		}
+		if c := ev.slaCapU[m]; c < cap {
+			cap = c
+		}
+	}
+	if c := ev.slaCapU[in]; c < cap {
+		cap = c
+	}
+	return ev.boundSums(j, cpuPeak, ramPeak, wsB, rateB, cap, upper)
+}
+
+// ScreenAdd returns the coarse lower bound on PriceAdd(u, j) — the move
+// screen of the coarse-to-fine sweep, O(T/B) and zero allocations. When
+// screening is disabled it returns -Inf (never prunes). Bit-level sound:
+// ScreenAdd(u, j) ≤ PriceAdd(u, j) always.
+func (ls *LoadState) ScreenAdd(u, j int) float64 {
+	if ls.co == nil {
+		return math.Inf(-1)
+	}
+	if ls.assign[u] == j {
+		return ls.contrib[j]
+	}
+	viol, norm := ls.boundAddSide(u, j, false)
+	return contribWith(norm, viol, ls.confPairs[j]+ls.conflictsOn(u, j))
+}
+
+// ScreenSwap returns the coarse lower bounds on both sides of
+// PriceSwap(u, v): what u's and v's machines would at least contribute
+// after the 2-exchange. O(T/B), zero allocations, -Inf when screening is
+// disabled.
+func (ls *LoadState) ScreenSwap(u, v int) (loU, loV float64) {
+	if ls.co == nil {
+		return math.Inf(-1), math.Inf(-1)
+	}
+	a, b := ls.assign[u], ls.assign[v]
+	if a == b {
+		panic("core: LoadState.ScreenSwap units share a machine")
+	}
+	loU = ls.screenExchange(a, u, v)
+	loV = ls.screenExchange(b, v, u)
+	return loU, loV
+}
+
+// screenExchange is the lower-bound half of boundExchangeSide with the
+// exact pair bookkeeping priceExchange applies.
+func (ls *LoadState) screenExchange(j, out, in int) float64 {
+	viol, norm := ls.boundExchangeSide(j, out, in, false)
+	pairs := ls.confPairs[j] - ls.conflictsOn(out, j) + ls.conflictsOnExcluding(in, j, out)
+	return contribWith(norm, viol, pairs)
+}
+
+// screenAddViol returns the coarse lower bound on the violation machine j
+// would carry after accepting unit u (0 when screening is off): a positive
+// value proves the placement infeasible without exact pricing.
+func (ls *LoadState) screenAddViol(u, j int) float64 {
+	if ls.co == nil {
+		return 0
+	}
+	viol, _ := ls.boundAddSide(u, j, false)
+	return viol
+}
+
+// BoundAdd returns coarse lower and upper bounds on PriceAdd(u, j) in
+// O(T/B) with zero allocations: BoundAdd.lo ≤ PriceAdd ≤ BoundAdd.hi,
+// bit for bit on the exact side. With screening disabled it returns
+// (-Inf, +Inf); when u already lives on j both bounds equal the current
+// contribution, matching PriceAdd.
+func (ls *LoadState) BoundAdd(u, j int) (lo, hi float64) {
+	if ls.co == nil {
+		return math.Inf(-1), math.Inf(1)
+	}
+	if ls.assign[u] == j {
+		return ls.contrib[j], ls.contrib[j]
+	}
+	pairs := ls.confPairs[j] + ls.conflictsOn(u, j)
+	loViol, loNorm := ls.boundAddSide(u, j, false)
+	hiViol, hiNorm := ls.boundAddSide(u, j, true)
+	return contribWith(loNorm, loViol, pairs), contribWith(hiNorm, hiViol, pairs)
+}
+
+// BoundRemove returns coarse lower and upper bounds on PriceRemove(u),
+// O(T/B), zero allocations. Like PriceRemove it reports (0, 0) when u is
+// its machine's last member.
+func (ls *LoadState) BoundRemove(u int) (lo, hi float64) {
+	if ls.co == nil {
+		return math.Inf(-1), math.Inf(1)
+	}
+	from := ls.assign[u]
+	if len(ls.members[from]) == 1 {
+		return 0, 0
+	}
+	pairs := ls.confPairs[from] - ls.conflictsOn(u, from)
+	loViol, loNorm := ls.boundRemoveSide(u, false)
+	hiViol, hiNorm := ls.boundRemoveSide(u, true)
+	return contribWith(loNorm, loViol, pairs), contribWith(hiNorm, hiViol, pairs)
+}
+
+// BoundSwap returns coarse lower and upper bounds on both results of
+// PriceSwap(u, v). Like PriceSwap it panics when the units share a
+// machine. O(T/B), zero allocations.
+func (ls *LoadState) BoundSwap(u, v int) (loU, hiU, loV, hiV float64) {
+	if ls.co == nil {
+		return math.Inf(-1), math.Inf(1), math.Inf(-1), math.Inf(1)
+	}
+	a, b := ls.assign[u], ls.assign[v]
+	if a == b {
+		panic("core: LoadState.BoundSwap units share a machine")
+	}
+	pairsU := ls.confPairs[a] - ls.conflictsOn(u, a) + ls.conflictsOnExcluding(v, a, u)
+	loViolU, loNormU := ls.boundExchangeSide(a, u, v, false)
+	hiViolU, hiNormU := ls.boundExchangeSide(a, u, v, true)
+	pairsV := ls.confPairs[b] - ls.conflictsOn(v, b) + ls.conflictsOnExcluding(u, b, v)
+	loViolV, loNormV := ls.boundExchangeSide(b, v, u, false)
+	hiViolV, hiNormV := ls.boundExchangeSide(b, v, u, true)
+	return contribWith(loNormU, loViolU, pairsU), contribWith(hiNormU, hiViolU, pairsU),
+		contribWith(loNormV, loViolV, pairsV), contribWith(hiNormV, hiViolV, pairsV)
+}

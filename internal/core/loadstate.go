@@ -55,9 +55,24 @@ type LoadState struct {
 	norm      []float64 // normalized balance load in [0,1]
 	confPairs []int     // anti-affinity pairs currently sharing the machine
 	slaCap    []float64 // strictest member SLA utilization cap (1 = none)
+	// argCPU/argRAM are the time steps where each machine's canonical CPU
+	// and RAM aggregates peak — the coarse screen's point refinement
+	// evaluates candidate aggregates exactly there, a tight O(1) lower
+	// bound on the new peak (see coarse.go).
+	argCPU []int
+	argRAM []int
 
 	// Scratch buffers for candidate pricing, reused across calls.
 	sCPU, sRAM, sWS, sRate []float64
+
+	// Coarse screening state (see coarse.go; unset when the evaluator
+	// disables screening): per-machine bucketed aggregate bounds — flat,
+	// stride co.nb — kept in lockstep with the canonical sums, plus bucket
+	// scratch for the disk terms of candidate bounds.
+	co                             *coarse
+	bHiCPU, bLoCPU, bHiRAM, bLoRAM []float64
+	bHiWS, bLoWS, bHiRate, bLoRate []float64
+	sbWS, sbRate                   []float64
 }
 
 // NewLoadState builds the incremental state for an assignment over the
@@ -82,10 +97,25 @@ func NewLoadState(ev *Evaluator, assign []int, K int) *LoadState {
 		norm:      make([]float64, K),
 		confPairs: make([]int, K),
 		slaCap:    make([]float64, K),
+		argCPU:    make([]int, K),
+		argRAM:    make([]int, K),
 		sCPU:      make([]float64, T),
 		sRAM:      make([]float64, T),
 		sWS:       make([]float64, T),
 		sRate:     make([]float64, T),
+	}
+	if co := ev.coarse; co != nil {
+		ls.co = co
+		ls.bHiCPU = make([]float64, K*co.nb)
+		ls.bLoCPU = make([]float64, K*co.nb)
+		ls.bHiRAM = make([]float64, K*co.nb)
+		ls.bLoRAM = make([]float64, K*co.nb)
+		ls.bHiWS = make([]float64, K*co.nb)
+		ls.bLoWS = make([]float64, K*co.nb)
+		ls.bHiRate = make([]float64, K*co.nb)
+		ls.bLoRate = make([]float64, K*co.nb)
+		ls.sbWS = make([]float64, co.nb)
+		ls.sbRate = make([]float64, co.nb)
 	}
 	for u, j := range ls.assign {
 		if j < 0 || j >= K {
@@ -138,6 +168,22 @@ func (ls *LoadState) rematerialize(j int) {
 	ev := ls.ev
 	members := ls.members[j]
 	ev.accumulateInto(members, ls.cpu[j], ls.ram[j], ls.ws[j], ls.rate[j])
+	if ls.co != nil {
+		ls.rematBuckets(j)
+		// Track where the canonical aggregates peak, for the screen's
+		// point refinement.
+		cj, rj := ls.cpu[j], ls.ram[j]
+		argC, argR := 0, 0
+		for t := 1; t < ev.T; t++ {
+			if cj[t] > cj[argC] {
+				argC = t
+			}
+			if rj[t] > rj[argR] {
+				argR = t
+			}
+		}
+		ls.argCPU[j], ls.argRAM[j] = argC, argR
+	}
 
 	pairs := 0
 	for ai, a := range members {
@@ -273,6 +319,13 @@ func (ls *LoadState) CanPlace(u, j int) bool {
 		return viol == 0
 	}
 	if ls.confPairs[j] > 0 || ls.conflictsOn(u, j) > 0 {
+		return false
+	}
+	// Coarse screen: a positive violation lower bound proves the placement
+	// infeasible in O(T/B), so the exact O(T) pricing only runs for
+	// machines the bound cannot rule out. The boolean is unchanged —
+	// viol ≥ screenAddViol always.
+	if ls.screenAddViol(u, j) > 0 {
 		return false
 	}
 	ls.fill(u, j, +1)
@@ -415,10 +468,27 @@ func (ls *LoadState) Fold(to int) {
 		ls.ram[to], ls.ram[from] = ls.ram[from], ls.ram[to]
 		ls.ws[to], ls.ws[from] = ls.ws[from], ls.ws[to]
 		ls.rate[to], ls.rate[from] = ls.rate[from], ls.rate[to]
+		if co := ls.co; co != nil {
+			// Relabel the bucketed bound rows with the machine: `to` was
+			// empty, so the retiring row is zeroed like its other state.
+			nb := co.nb
+			for _, arr := range [...][]float64{
+				ls.bHiCPU, ls.bLoCPU, ls.bHiRAM, ls.bLoRAM,
+				ls.bHiWS, ls.bLoWS, ls.bHiRate, ls.bLoRate,
+			} {
+				fromRow := arr[from*nb : (from+1)*nb]
+				copy(arr[to*nb:(to+1)*nb], fromRow)
+				for i := range fromRow {
+					fromRow[i] = 0
+				}
+			}
+		}
 		ls.contrib[to], ls.contrib[from] = ls.contrib[from], 0
 		ls.norm[to], ls.norm[from] = ls.norm[from], 0
 		ls.confPairs[to], ls.confPairs[from] = ls.confPairs[from], 0
 		ls.slaCap[to], ls.slaCap[from] = ls.slaCap[from], 1
+		ls.argCPU[to], ls.argCPU[from] = ls.argCPU[from], 0
+		ls.argRAM[to], ls.argRAM[from] = ls.argRAM[from], 0
 	}
 	ls.k--
 }

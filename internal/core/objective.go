@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 )
 
 // penaltyWeight scales constraint violations so that any violating solution
@@ -19,7 +20,10 @@ type Evaluator struct {
 	T       int
 	weights Weights
 
-	// Per-unit demand arrays (length T each).
+	// Per-unit demand arrays (length T each). Every slice is a window into
+	// one contiguous per-resource backing block (SoA layout), so the
+	// pricing loops walk sequential memory instead of chasing the original
+	// workloads' scattered series buffers.
 	cpu  [][]float64
 	ram  [][]float64
 	ws   [][]float64
@@ -29,7 +33,9 @@ type Evaluator struct {
 	scale []float64
 	// pin[u] is the required machine for unit u, or -1.
 	pin []int
-	// conflicts[u] lists units that must not share a machine with u.
+	// conflicts[u] lists units that must not share a machine with u,
+	// sorted ascending so conflicted can binary-search (it runs inside
+	// every PriceAdd/priceExchange call).
 	conflicts [][]int
 	// slaCapU[u] is the utilization cap unit u's latency SLA imposes on its
 	// host machine (1 when the workload declares no SLA).
@@ -47,6 +53,39 @@ type Evaluator struct {
 	envKeys []uint64
 	envVals []float64
 
+	// predWS/predRate/predVals memoize Disk.PredictWriteMBps keyed on the
+	// raw bit pair of the aggregate (working set, update rate) — the same
+	// direct-mapped discipline as the envelope memo. The exact pricing loop
+	// evaluates the fitted Poly2D once per time step per candidate, and
+	// local search re-prices the same aggregates over and over, so most
+	// evaluations hit working points already seen. A hit is bit-identical
+	// to the polynomial, so the memo cannot perturb pricing. nil when the
+	// problem has no disk model. Not safe for concurrent use; Clone gives
+	// each worker its own copy.
+	predWS   []uint64
+	predRate []uint64
+	predVals []float64
+
+	// coarse holds the bucketed per-unit demand extrema backing the
+	// coarse-to-fine move screen (see coarse.go); nil disables screening.
+	coarse *coarse
+
+	// Per-machine usable capacities after headroom, precomputed so the
+	// per-candidate pricers avoid re-deriving them (and copying Machine
+	// structs) on every call. Identical bit-for-bit to
+	// Machine.capacity(raw).
+	capCPU  []float64
+	capRAM  []float64
+	capDisk []float64
+
+	// Reusable scratch for Eval: per-machine member lists plus one set of
+	// aggregate demand buffers, grown once and reused across calls so the
+	// thousands of evaluations a DIRECT run performs allocate nothing.
+	// Clone resets them — scratch is mutable state and must not be shared
+	// across goroutines.
+	emMembers                  [][]int
+	esCPU, esRAM, esWS, esRate []float64
+
 	// Fevals counts full-assignment evaluations.
 	Fevals int
 }
@@ -55,6 +94,12 @@ type Evaluator struct {
 // evaluator — small enough to clone per worker, large enough that a sweep's
 // working-set values rarely collide).
 const envMemoBits = 13
+
+// predMemoBits sizes the disk-prediction memo (2^15 slots × 24 bytes =
+// 768 KiB per evaluator). The working points are (ws, rate) pairs — one per
+// machine per time step plus the candidate perturbations a sweep prices —
+// so the memo is bigger than the envelope's single-key table.
+const predMemoBits = 15
 
 // envRateFloor (rows/sec) bounds the denominator of the envelope violation
 // term. The clamped envelope can reach exactly 0 for large working sets; a
@@ -87,20 +132,28 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 		pin:     make([]int, len(units)),
 		slaCapU: make([]float64, len(units)),
 	}
-	zero := make([]float64, ev.T)
+	// Contiguous per-resource backing blocks (SoA): unit u's series live at
+	// [u·T, (u+1)·T), so sweeps that touch many units stream through memory
+	// instead of dereferencing each workload's own buffer. Values are copied
+	// verbatim — pricing is bit-identical to reading the source series.
+	T := ev.T
+	cpuBuf := make([]float64, len(units)*T)
+	ramBuf := make([]float64, len(units)*T)
+	wsBuf := make([]float64, len(units)*T)
+	rateBuf := make([]float64, len(units)*T)
 	for u, un := range units {
 		wl := &p.Workloads[un.w]
-		ev.cpu[u] = wl.CPU.Values
-		ev.ram[u] = wl.RAMBytes.Values
+		ev.cpu[u] = cpuBuf[u*T : (u+1)*T : (u+1)*T]
+		ev.ram[u] = ramBuf[u*T : (u+1)*T : (u+1)*T]
+		ev.ws[u] = wsBuf[u*T : (u+1)*T : (u+1)*T]
+		ev.rate[u] = rateBuf[u*T : (u+1)*T : (u+1)*T]
+		copy(ev.cpu[u], wl.CPU.Values)
+		copy(ev.ram[u], wl.RAMBytes.Values)
 		if wl.WSBytes != nil {
-			ev.ws[u] = wl.WSBytes.Values
-		} else {
-			ev.ws[u] = zero
+			copy(ev.ws[u], wl.WSBytes.Values)
 		}
 		if wl.UpdateRate != nil {
-			ev.rate[u] = wl.UpdateRate.Values
-		} else {
-			ev.rate[u] = zero
+			copy(ev.rate[u], wl.UpdateRate.Values)
 		}
 		ev.scale[u] = 1
 		if un.replica < len(wl.ReplicaLoadScale) {
@@ -140,6 +193,12 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 			}
 		}
 	}
+	// Sort each conflict list so conflicted can binary-search. Construction
+	// order above is deterministic, and sorting makes the final lists a
+	// pure function of the problem regardless of it.
+	for _, c := range ev.conflicts {
+		sort.Ints(c)
+	}
 	if p.Disk != nil && p.Disk.HasEnvelope {
 		ev.envKeys = make([]uint64, 1<<envMemoBits)
 		ev.envVals = make([]float64, 1<<envMemoBits)
@@ -150,6 +209,27 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 			ev.envVals[i] = v0
 		}
 	}
+	ev.capCPU = make([]float64, len(p.Machines))
+	ev.capRAM = make([]float64, len(p.Machines))
+	ev.capDisk = make([]float64, len(p.Machines))
+	for j, m := range p.Machines {
+		ev.capCPU[j] = m.capacity(m.CPUCapacity)
+		ev.capRAM[j] = m.capacity(m.RAMBytes)
+		ev.capDisk[j] = m.capacity(m.DiskWriteBps)
+	}
+	if p.Disk != nil {
+		ev.predWS = make([]uint64, 1<<predMemoBits)
+		ev.predRate = make([]uint64, 1<<predMemoBits)
+		ev.predVals = make([]float64, 1<<predMemoBits)
+		// Same coherent seeding as the envelope memo: the zeroed key arrays
+		// describe the pair (ws=+0, rate=+0), so every slot must hold the
+		// polynomial's value there for hits to be exact.
+		v00 := p.Disk.PredictWriteMBps(0, 0)
+		for i := range ev.predVals {
+			ev.predVals[i] = v00
+		}
+	}
+	ev.SetBucketWidth(0)
 	return ev, nil
 }
 
@@ -172,13 +252,35 @@ func (ev *Evaluator) envMax(wsBytes float64) float64 {
 	return v
 }
 
+// predict returns Disk.PredictWriteMBps(wsBytes, rowsPerSec) through the
+// per-evaluator memo, keyed on the exact bit pair of both arguments — a hit
+// is bit-identical to evaluating the fitted polynomial, so memoization
+// cannot perturb pricing. Direct-mapped, newest wins, zero allocations.
+func (ev *Evaluator) predict(wsBytes, rowsPerSec float64) float64 {
+	if ev.predVals == nil {
+		return ev.p.Disk.PredictWriteMBps(wsBytes, rowsPerSec)
+	}
+	wb := math.Float64bits(wsBytes)
+	rb := math.Float64bits(rowsPerSec)
+	slot := ((wb*0x9E3779B97F4A7C15 ^ rb) * 0xBF58476D1CE4E5B9) >> (64 - predMemoBits)
+	if ev.predWS[slot] == wb && ev.predRate[slot] == rb {
+		return ev.predVals[slot]
+	}
+	v := ev.p.Disk.PredictWriteMBps(wsBytes, rowsPerSec)
+	ev.predWS[slot] = wb
+	ev.predRate[slot] = rb
+	ev.predVals[slot] = v
+	return v
+}
+
 // Clone returns an evaluator that shares ev's immutable problem data (the
-// demand arrays, pins and conflict lists are never written after
-// NewEvaluator) but counts its own Fevals, so each worker goroutine of a
-// parallel solve can evaluate assignments without locking. The envelope
-// memo is mutable state and is deep-copied — sharing it across goroutines
-// would race. Callers that care about totals add the clone's Fevals back
-// deterministically.
+// demand arrays, pins, conflict lists and coarse bucket tables are never
+// written after NewEvaluator) but counts its own Fevals, so each worker
+// goroutine of a parallel solve can evaluate assignments without locking.
+// The envelope and disk-prediction memos are mutable state and are
+// deep-copied — sharing them across goroutines would race — and the Eval
+// scratch buffers are dropped so each clone lazily grows its own. Callers
+// that care about totals add the clone's Fevals back deterministically.
 func (ev *Evaluator) Clone() *Evaluator {
 	c := *ev
 	c.Fevals = 0
@@ -186,6 +288,13 @@ func (ev *Evaluator) Clone() *Evaluator {
 		c.envKeys = append([]uint64(nil), ev.envKeys...)
 		c.envVals = append([]float64(nil), ev.envVals...)
 	}
+	if ev.predVals != nil {
+		c.predWS = append([]uint64(nil), ev.predWS...)
+		c.predRate = append([]uint64(nil), ev.predRate...)
+		c.predVals = append([]float64(nil), ev.predVals...)
+	}
+	c.emMembers = nil
+	c.esCPU, c.esRAM, c.esWS, c.esRate = nil, nil, nil, nil
 	return &c
 }
 
@@ -243,7 +352,6 @@ func (ev *Evaluator) accumulateInto(members []int, cpuSum, ramSum, wsSum, rateSu
 // SLA). It allocates nothing, so it can run on reusable scratch buffers —
 // the LoadState move-pricing hot path.
 func (ev *Evaluator) evalSums(j int, cpuSum, ramSum, wsSum, rateSum []float64, slaCap float64) (cpuPeak, ramPeak, diskPeak, viol, norm float64) {
-	m := ev.p.Machines[j]
 	T := ev.T
 	for t := 0; t < T; t++ {
 		if cpuSum[t] > cpuPeak {
@@ -254,8 +362,8 @@ func (ev *Evaluator) evalSums(j int, cpuSum, ramSum, wsSum, rateSum []float64, s
 		}
 	}
 
-	cpuCap := m.capacity(m.CPUCapacity)
-	ramCap := m.capacity(m.RAMBytes)
+	cpuCap := ev.capCPU[j]
+	ramCap := ev.capRAM[j]
 	if cpuPeak > cpuCap {
 		viol += (cpuPeak - cpuCap) / cpuCap
 	}
@@ -265,9 +373,9 @@ func (ev *Evaluator) evalSums(j int, cpuSum, ramSum, wsSum, rateSum []float64, s
 
 	var diskNorm float64
 	if ev.p.Disk != nil {
-		diskCap := m.capacity(m.DiskWriteBps)
+		diskCap := ev.capDisk[j]
 		for t := 0; t < T; t++ {
-			pred := ev.p.Disk.PredictWriteMBps(wsSum[t], rateSum[t]) * 1e6
+			pred := ev.predict(wsSum[t], rateSum[t]) * 1e6
 			if pred > diskPeak {
 				diskPeak = pred
 			}
@@ -354,6 +462,29 @@ func contribution(sl ServerLoad) float64 {
 	return math.Exp(sl.NormLoad) + penaltyWeight*sl.Violation
 }
 
+// evalScratch returns the per-machine member scratch sized for K machines
+// and ensures the aggregate demand buffers exist, growing both once and
+// reusing them across calls: DIRECT calls Eval thousands of times per
+// solve, and allocating a fresh [][]int plus four sum buffers per machine
+// per evaluation dominated its profile. Each slot keeps its backing array
+// between calls, so steady-state evaluations allocate nothing.
+func (ev *Evaluator) evalScratch(K int) [][]int {
+	if cap(ev.emMembers) < K {
+		ev.emMembers = make([][]int, K)
+	}
+	members := ev.emMembers[:K]
+	for j := range members {
+		members[j] = members[j][:0]
+	}
+	if len(ev.esCPU) < ev.T {
+		ev.esCPU = make([]float64, ev.T)
+		ev.esRAM = make([]float64, ev.T)
+		ev.esWS = make([]float64, ev.T)
+		ev.esRate = make([]float64, ev.T)
+	}
+	return members
+}
+
 // Eval computes the full objective of an assignment over the first K
 // machines. An assignment outside [0,K) is a pin-style violation: the unit
 // is priced as unplaced (one penaltyWeight, infeasible) and contributes no
@@ -361,7 +492,7 @@ func contribution(sl ServerLoad) float64 {
 // never price feasible while displaying a missing workload.
 func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 	ev.Fevals++
-	members := make([][]int, K)
+	members := ev.evalScratch(K)
 	feasible = true
 	for u, j := range assign {
 		if j < 0 || j >= K {
@@ -385,23 +516,38 @@ func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 				}
 			}
 		}
-		sl := ev.serverEval(j, members[j])
-		if sl.Violation > 0 {
+		if len(members[j]) == 0 {
+			continue
+		}
+		// Price the machine on the shared scratch buffers — the same
+		// accumulation order and pricing as serverEval, minus its per-call
+		// allocations (Eval never needs the aggregate CPU series back).
+		ev.accumulateInto(members[j], ev.esCPU, ev.esRAM, ev.esWS, ev.esRate)
+		_, _, _, viol, norm := ev.evalSums(j, ev.esCPU, ev.esRAM, ev.esWS, ev.esRate, ev.slaCap(members[j]))
+		if viol > 0 {
 			feasible = false
 		}
-		obj += contribution(sl)
+		obj += math.Exp(norm) + penaltyWeight*viol
 	}
 	return obj, feasible
 }
 
 // conflicted reports whether units a and b must not share a machine.
+// conflicts[a] is sorted, so this is a binary search — it runs inside
+// every PriceAdd/priceExchange call, where the old linear scan showed up
+// on fleets with wide anti-affinity sets.
 func (ev *Evaluator) conflicted(a, b int) bool {
-	for _, c := range ev.conflicts[a] {
-		if c == b {
-			return true
+	s := ev.conflicts[a]
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo < len(s) && s[lo] == b
 }
 
 // FitsOneMachine reports whether the given units can share machine j within

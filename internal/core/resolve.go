@@ -370,6 +370,9 @@ func Resolve(p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.BucketWidth != 0 {
+		ev.SetBucketWidth(opt.BucketWidth)
+	}
 	maxK := len(p.Machines)
 	K := inc.K
 	if K > maxK {

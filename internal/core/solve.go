@@ -44,6 +44,13 @@ type SolveOptions struct {
 	// set, Resolve skips the machine-count reduction pass, which migrates
 	// whole machines at a time.
 	MaxMigrations int
+	// BucketWidth sets the coarse-pricing bucket width in time steps for
+	// the local search's move screen (see Evaluator.SetBucketWidth): 0 uses
+	// the default ⌈T/16⌉, a positive value is used as given, and a negative
+	// value disables screening so every candidate is priced exactly. The
+	// computed plan is bit-identical for every setting — the screen only
+	// prunes candidates whose priced delta provably could not win.
+	BucketWidth int
 }
 
 // workers normalizes the Workers option.
@@ -82,6 +89,9 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 	ev, err := NewEvaluator(p)
 	if err != nil {
 		return nil, err
+	}
+	if opt.BucketWidth != 0 {
+		ev.SetBucketWidth(opt.BucketWidth)
 	}
 	if opt.DirectFevals <= 0 {
 		opt.DirectFevals = 2000
@@ -550,6 +560,7 @@ func (ev *Evaluator) bestMove(ls *LoadState, u, K int, mig *migration) int {
 	cFromNew := ls.PriceRemove(u)
 	bestJ := from
 	bestDelta := -1e-9 // strict improvement required
+	screen := ls.Screened()
 	for j := 0; j < K; j++ {
 		if j == from {
 			continue
@@ -557,7 +568,22 @@ func (ev *Evaluator) bestMove(ls *LoadState, u, K int, mig *migration) int {
 		if !mig.allows(mig.awayDelta(u, from, j)) {
 			continue
 		}
+		// Fevals counts candidates considered, screened or exactly priced,
+		// so its semantics (and every warm-vs-cold comparison built on it)
+		// are independent of the coarse screen.
 		ev.Fevals++
+		if screen {
+			// Coarse-to-fine: the O(T/B) lower bound on the destination's
+			// new contribution prunes candidates that provably cannot beat
+			// the best delta so far. The bound delta mirrors the exact
+			// delta expression with ScreenAdd ≤ PriceAdd substituted, so
+			// pruned candidates are exactly ones the exact pricing would
+			// have rejected — the chosen move is bit-identical.
+			lo := ls.ScreenAdd(u, j)
+			if (cFromNew+lo)-(ls.Contrib(from)+ls.Contrib(j))+mig.delta(u, from, j) >= bestDelta {
+				continue
+			}
+		}
 		cToNew := ls.PriceAdd(u, j)
 		delta := (cFromNew + cToNew) - (ls.Contrib(from) + ls.Contrib(j)) + mig.delta(u, from, j)
 		if delta < bestDelta {
@@ -594,6 +620,7 @@ func (ev *Evaluator) sweepMoves(ls *LoadState, K int, mig *migration) bool {
 func (ev *Evaluator) sweepSwaps(ls *LoadState, K int, mig *migration) bool {
 	improved := false
 	n := ls.NumUnits()
+	screen := ls.Screened()
 	for u := 0; u < n; u++ {
 		if ev.pin[u] >= 0 {
 			continue
@@ -612,7 +639,26 @@ func (ev *Evaluator) sweepSwaps(ls *LoadState, K int, mig *migration) bool {
 			if !mig.allows(mig.awayDelta(u, a, b) + mig.awayDelta(v, b, a)) {
 				continue
 			}
-			ev.Fevals++
+			ev.Fevals++ // candidates considered, screened or priced
+			if screen {
+				// Coarse-to-fine, staged: first prune against u's side
+				// alone (the other side contributes at least exp(0) = 1),
+				// then against both sides' lower bounds. Each stage's
+				// bound delta mirrors the exact delta expression — same
+				// floating-point shape, termwise lower bounds substituted
+				// — so pruned swaps are exactly ones the exact pricing
+				// would have rejected.
+				loU := ls.screenExchange(a, u, v)
+				if (loU+1)-(ls.Contrib(a)+ls.Contrib(b))+
+					mig.delta(u, a, b)+mig.delta(v, b, a) >= bestDelta {
+					continue
+				}
+				loV := ls.screenExchange(b, v, u)
+				if (loU+loV)-(ls.Contrib(a)+ls.Contrib(b))+
+					mig.delta(u, a, b)+mig.delta(v, b, a) >= bestDelta {
+					continue
+				}
+			}
 			nu, nv := ls.PriceSwap(u, v)
 			delta := (nu + nv) - (ls.Contrib(a) + ls.Contrib(b)) +
 				mig.delta(u, a, b) + mig.delta(v, b, a)
