@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-hot bench-resolve bench-json lint fmt ci
+.PHONY: build test test-full race bench bench-hot bench-resolve bench-drift bench-json lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,22 @@ bench:
 bench-hot:
 	$(GO) test -bench='LoadState|Coarse' -benchmem -benchtime=10x -run='^$$' .
 
-# Machine-readable bench trajectory: the sweep benchmarks above as JSON
-# (ns/op, allocs/op, fevals, sweep-speedup per case) in BENCH_sweeps.json,
-# uploaded as a CI artifact so per-PR perf history accumulates.
+# Event-driven re-consolidation: the watch loop over quiet + 5%-drifted
+# observation windows of the 197-server fleet. Tracked metrics:
+# trigger-precision and trigger-recall at 1.0 (no trigger on quiet
+# windows, trigger within one window of the drift episode), watch-fevals
+# well under cadence-fevals (the evaluations a fixed-cadence re-solve
+# would spend on the same stream), migrated-frac in the low percent.
+bench-drift:
+	$(GO) test -bench='DriftWatch' -benchmem -benchtime=1x -run='^$$' .
+
+# Machine-readable bench trajectory: the sweep + drift-watch benchmarks as
+# JSON (ns/op, allocs/op, fevals, sweep-speedup, trigger precision/recall
+# per case) in BENCH_sweeps.json, uploaded as a CI artifact so per-PR perf
+# history accumulates.
 bench-json:
-	$(GO) test -bench='LoadState|Coarse' -benchmem -benchtime=10x -run='^$$' . | $(GO) run ./cmd/benchjson > BENCH_sweeps.json
+	( $(GO) test -bench='LoadState|Coarse' -benchmem -benchtime=10x -run='^$$' . ; \
+	  $(GO) test -bench='DriftWatch' -benchmem -benchtime=1x -run='^$$' . ) | $(GO) run ./cmd/benchjson > BENCH_sweeps.json
 	@echo wrote BENCH_sweeps.json
 
 # Rolling re-consolidation: warm-started Resolve on the drifted 197-server

@@ -440,7 +440,7 @@ func BenchmarkFigure13_Predictability(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rows = append(rows, row{d.String(), fc.RMSE, fc.MeanAbsPctError})
+			rows = append(rows, row{d.String(), fc.RMSE, fc.CVRMSEPct})
 		}
 	}
 	b.StopTimer()

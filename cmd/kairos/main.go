@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -38,6 +40,8 @@ func main() {
 		err = cmdGauge(os.Args[2:])
 	case "consolidate":
 		err = cmdConsolidate(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -60,6 +64,7 @@ subcommands:
   profile-disk   build the empirical disk model (Figure 4)
   gauge          buffer-pool gauging demo on a simulated DBMS (Figure 2)
   consolidate    consolidate a fleet onto 12-core/96GB targets (Figure 7)
+  watch          event-driven re-consolidation over a directory of trace snapshots
   report         consolidation report over all datasets
 `)
 }
@@ -253,6 +258,152 @@ func cmdConsolidate(args []string) error {
 	}
 	if *verbose {
 		fmt.Print(plan)
+	}
+	return nil
+}
+
+// cmdWatch runs the event-driven re-consolidation loop over a directory of
+// trace snapshots (CSV fleets as written by tracegen, lexicographic order):
+// the first snapshot is the baseline the incumbent plan is solved against
+// (or, with -resolve, the fleet an existing saved plan assumed), and every
+// later snapshot is one observation window fed to the drift detector. A
+// re-solve runs only when drift crosses the threshold; each one prints a
+// ReconsolidationEvent line.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	dir := fs.String("snapshots", "", "directory of CSV trace snapshots, one observation window per file (required)")
+	profilePath := fs.String("profile", "", "disk profile JSON from profile-disk (omit to skip the disk constraint)")
+	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
+	headroom := fs.Float64("headroom", 0.05, "per-machine safety margin")
+	threshold := fs.Float64("drift-threshold", 0.04, "relative drift (utilization delta or forecast CV(RMSE)) that triggers a re-solve")
+	rearm := fs.Float64("rearm", 0, "hysteresis re-arm level (0 = half the threshold)")
+	cooldown := fs.Int("cooldown", 1, "observation windows suppressed after a trigger")
+	history := fs.Int("history", 2, "windows averaged into the rolling forecast the re-solve consumes")
+	minWorkloads := fs.Int("min-workloads", 1, "distinct drifted workloads required to trigger")
+	migWeight := fs.Float64("mig-weight", 0.05, "migration cost per average-working-set unit moved off its incumbent machine")
+	maxMig := fs.Int("max-migrations", 0, "cap on units migrated per re-solve (0 = unlimited)")
+	resolvePath := fs.String("resolve", "", "start from a plan saved with consolidate -save-plan instead of solving the first snapshot cold")
+	savePlan := fs.String("save-plan", "", "write the final incumbent plan to this JSON file")
+	parallel := fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)")
+	verbose := fs.Bool("v", false, "print every window, not just triggers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("watch: -snapshots directory is required")
+	}
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			files = append(files, filepath.Join(*dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) < 2 {
+		return fmt.Errorf("watch: need a baseline plus at least one observation snapshot, found %d CSV files in %s", len(files), *dir)
+	}
+	dp, err := loadProfile(*profilePath)
+	if err != nil {
+		return err
+	}
+	readSnapshot := func(path string) ([]kairos.Workload, int, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		fl, err := fleet.ReadCSV(f, path)
+		if err != nil {
+			return nil, 0, err
+		}
+		return fl.Workloads(*ramScale), len(fl.Servers), nil
+	}
+
+	baseline, nServers, err := readSnapshot(files[0])
+	if err != nil {
+		return err
+	}
+	machines := make([]core.Machine, nServers)
+	for i := range machines {
+		machines[i] = fleet.TargetMachine(fmt.Sprintf("target-%02d", i), 50e6, *headroom)
+	}
+	opt := kairos.DefaultOptions()
+	switch {
+	case *parallel == 0:
+		opt = kairos.ParallelOptions()
+	case *parallel > 1:
+		opt.Workers = *parallel
+	}
+
+	var inc *kairos.Incumbent
+	if *resolvePath != "" {
+		if inc, err = loadIncumbent(*resolvePath); err != nil {
+			return err
+		}
+		fmt.Printf("baseline %s: incumbent plan %s (K=%d)\n", files[0], *resolvePath, inc.K)
+	} else {
+		solveOpt := opt
+		solveOpt.SkipDirect = true // fleet-scale streams use the local-search path
+		plan, err := kairos.Consolidate(baseline, machines, dp, solveOpt)
+		if err != nil {
+			return err
+		}
+		inc = plan.Incumbent()
+		fmt.Printf("baseline %s: %d workloads -> %d machines (feasible=%v)\n",
+			files[0], len(baseline), plan.K, plan.Feasible)
+	}
+
+	wopt := kairos.DefaultWatchOptions()
+	wopt.Drift.Threshold = *threshold
+	wopt.Drift.Rearm = *rearm
+	wopt.Drift.Cooldown = *cooldown
+	wopt.Drift.History = *history
+	wopt.Drift.MinWorkloads = *minWorkloads
+	wopt.Resolve = opt
+	wopt.Resolve.SkipDirect = true
+	wopt.Resolve.MigrationWeight = *migWeight
+	wopt.Resolve.MaxMigrations = *maxMig
+	ar, err := kairos.NewAutoReconsolidator(inc, baseline, machines, dp, wopt)
+	if err != nil {
+		return err
+	}
+	triggers := 0
+	for _, path := range files[1:] {
+		window, _, err := readSnapshot(path)
+		if err != nil {
+			return fmt.Errorf("watch: snapshot %s: %w", path, err)
+		}
+		ev, err := ar.Observe(window)
+		if err != nil {
+			return fmt.Errorf("watch: snapshot %s: %w", path, err)
+		}
+		switch {
+		case ev != nil:
+			triggers++
+			fmt.Printf("%s: %v\n", path, ev)
+		case *verbose:
+			fmt.Printf("%s: window %d, plan holds\n", path, ar.Window()-1)
+		}
+	}
+	fmt.Printf("watched %d windows: %d re-consolidations (final K=%d)\n",
+		len(files)-1, triggers, ar.Incumbent().K)
+	if *savePlan != "" {
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			return err
+		}
+		if err := ar.Incumbent().Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote final plan to %s\n", *savePlan)
 	}
 	return nil
 }

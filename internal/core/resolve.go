@@ -228,6 +228,27 @@ func (ev *Evaluator) newMigration(home []int, opt SolveOptions) *migration {
 	return m
 }
 
+// clampIncumbentK maps an incumbent plan's machine count onto the current
+// problem: clamped to the machines that exist, at least 1, and raised past
+// every pin (Validate guarantees pin < len(p.Machines)). Resolve and
+// PriceIncumbent share it so the stale-plan pricing and the warm re-solve
+// always start from the same K.
+func (ev *Evaluator) clampIncumbentK(p *Problem, incK int) int {
+	K := incK
+	if maxK := len(p.Machines); K > maxK {
+		K = maxK
+	}
+	if K < 1 {
+		K = 1
+	}
+	for _, pin := range ev.pin {
+		if pin >= K {
+			K = pin + 1
+		}
+	}
+	return K
+}
+
 // warmSeed maps the incumbent plan onto the current problem's units: each
 // matched unit starts on its incumbent machine (its "home"), and units with
 // no usable incumbent — new workloads, extra replicas, or incumbents on
@@ -338,6 +359,29 @@ func (ev *Evaluator) warmSeed(p *Problem, inc *Incumbent, K int) (seed, home []i
 	return ls.Assignment(), home
 }
 
+// PriceIncumbent evaluates an incumbent plan against problem p without
+// re-solving: units are matched to their incumbent machines exactly as
+// Resolve's warm seed does (by workload name with index fallback, machine
+// names remapped when unique), unmatched units are placed greedily, and
+// the resulting assignment is priced once with the canonical objective.
+// It answers "how good is the current plan on this (drifted or forecast)
+// fleet?" — the before side of a re-consolidation decision — at the cost
+// of one evaluation instead of a solve. The returned K is the incumbent's
+// machine count clamped the same way Resolve clamps it.
+func PriceIncumbent(p *Problem, inc *Incumbent) (obj float64, feasible bool, K int, err error) {
+	if inc == nil || inc.K <= 0 || len(inc.Units) == 0 {
+		return 0, false, 0, fmt.Errorf("core: PriceIncumbent needs a non-empty incumbent plan")
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	K = ev.clampIncumbentK(p, inc.K)
+	seed, _ := ev.warmSeed(p, inc, K)
+	obj, feasible = ev.Eval(seed, K)
+	return obj, feasible, K, nil
+}
+
 // Resolve computes a consolidation plan for p warm-started from an
 // incumbent plan (rolling re-consolidation): the solver seeds from the
 // incumbent's placements, prices migrations into the hill climb per
@@ -374,18 +418,7 @@ func Resolve(p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
 		ev.SetBucketWidth(opt.BucketWidth)
 	}
 	maxK := len(p.Machines)
-	K := inc.K
-	if K > maxK {
-		K = maxK
-	}
-	if K < 1 {
-		K = 1
-	}
-	for _, pin := range ev.pin {
-		if pin >= K {
-			K = pin + 1 // Validate guarantees pin < maxK
-		}
-	}
+	K := ev.clampIncumbentK(p, inc.K)
 
 	seed, home := ev.warmSeed(p, inc, K)
 	mig := ev.newMigration(home, opt)

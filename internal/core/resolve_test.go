@@ -453,3 +453,59 @@ func TestResolvePinChangeNotCountedAsMigration(t *testing.T) {
 		t.Errorf("migration cost %v charged with no counted migrations", warm.MigrationCost)
 	}
 }
+
+// TestPriceIncumbent: pricing the incumbent on the problem it was solved
+// against reproduces the solution's objective exactly, pricing it on a
+// drifted problem reports the (usually worse) stale-plan objective that a
+// triggered re-solve must beat, and invalid incumbents error.
+func TestPriceIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := randomLoadStateProblem(rng, 16, 24, false)
+	opt := DefaultSolveOptions()
+	opt.SkipDirect = true
+	sol, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := IncumbentFromSolution(p, sol)
+
+	obj, feas, K, err := PriceIncumbent(p, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if K != sol.K {
+		t.Errorf("K = %d, want %d", K, sol.K)
+	}
+	if feas != sol.Feasible || obj != sol.Objective {
+		t.Errorf("priced (%v, %v), want the solution's own (%v, %v)",
+			obj, feas, sol.Objective, sol.Feasible)
+	}
+
+	// On a drifted fleet the stale plan prices worse than (or equal to) a
+	// warm re-solve's combined outcome at the same K.
+	drifted := driftProblem(p, 0.05, 7)
+	staleObj, _, staleK, err := PriceIncumbent(drifted, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropt := DefaultResolveOptions()
+	ropt.MigrationWeight = 0
+	warm, err := Resolve(drifted, inc, ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.K == staleK && warm.Objective > staleObj+1e-9 {
+		t.Errorf("re-solve objective %v worse than the stale plan's %v at K=%d",
+			warm.Objective, staleObj, warm.K)
+	}
+
+	if _, _, _, err := PriceIncumbent(p, nil); err == nil {
+		t.Error("nil incumbent accepted")
+	}
+	if _, _, _, err := PriceIncumbent(p, &Incumbent{K: 0}); err == nil {
+		t.Error("empty incumbent accepted")
+	}
+	if _, _, _, err := PriceIncumbent(&Problem{}, inc); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

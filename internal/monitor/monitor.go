@@ -7,6 +7,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"kairos/internal/dbms"
@@ -34,11 +35,24 @@ type Profile struct {
 	PhysReadsPerSec *series.Series
 }
 
-// PeakCPU returns the maximum CPU sample.
-func (p *Profile) PeakCPU() float64 { return p.CPU.Max() }
+// PeakCPU returns the maximum CPU sample, or NaN when the profile (or its
+// CPU series) is nil — profiles assembled by hand from CSV traces often
+// carry only a subset of the series Collect fills in.
+func (p *Profile) PeakCPU() float64 {
+	if p == nil || p.CPU == nil {
+		return math.NaN()
+	}
+	return p.CPU.Max()
+}
 
-// PeakRAMBytes returns the maximum RAM sample.
-func (p *Profile) PeakRAMBytes() float64 { return p.RAMBytes.Max() }
+// PeakRAMBytes returns the maximum RAM sample, or NaN when the profile (or
+// its RAM series) is nil.
+func (p *Profile) PeakRAMBytes() float64 {
+	if p == nil || p.RAMBytes == nil {
+		return math.NaN()
+	}
+	return p.RAMBytes.Max()
+}
 
 // Collector drives workload generators against a DBMS instance and samples
 // resource usage on a fixed interval — the paper's automated statistics
@@ -76,14 +90,28 @@ func NewCollector(in *dbms.Instance, gens []*workload.Generator) (*Collector, er
 // attributed proportionally to each database's update volume (log bytes are
 // known exactly per database, page write-back is shared).
 func (c *Collector) Collect(duration time.Duration) (map[string]*Profile, *Profile, error) {
+	if c.Tick <= 0 || c.Interval <= 0 {
+		return nil, nil, fmt.Errorf("monitor: tick %v and interval %v must be positive", c.Tick, c.Interval)
+	}
 	if duration < c.Interval {
 		return nil, nil, fmt.Errorf("monitor: duration %v shorter than sample interval %v", duration, c.Interval)
 	}
+	// Both divisibility constraints must hold exactly: a duration that is
+	// not a multiple of Interval would silently drop the tail window
+	// (duration/Interval truncates), and an Interval that is not a multiple
+	// of Tick would make simulated time (nSamples·ticksPerSample·Tick)
+	// drift away from the requested duration.
+	if duration%c.Interval != 0 {
+		return nil, nil, fmt.Errorf("monitor: duration %v is not a multiple of sample interval %v (the trailing %v would be dropped)",
+			duration, c.Interval, duration%c.Interval)
+	}
+	if c.Interval%c.Tick != 0 {
+		return nil, nil, fmt.Errorf("monitor: interval %v is not a multiple of tick %v (simulated time would cover %v per sample)",
+			c.Interval, c.Tick, c.Interval/c.Tick*c.Tick)
+	}
+	// The checks above guarantee Interval >= Tick, so ticksPerSample >= 1.
 	nSamples := int(duration / c.Interval)
 	ticksPerSample := int(c.Interval / c.Tick)
-	if ticksPerSample < 1 {
-		return nil, nil, fmt.Errorf("monitor: interval %v shorter than tick %v", c.Interval, c.Tick)
-	}
 
 	start := time.Unix(0, 0).UTC()
 	mk := func() *series.Series {

@@ -114,6 +114,69 @@ func TestCollectValidatesDuration(t *testing.T) {
 	}
 }
 
+// Regression: a duration that is not a multiple of Interval used to
+// truncate silently — Collect(2500ms) at a 1s interval returned 2 samples
+// and dropped the tail 500ms instead of erroring.
+func TestCollectRejectsNonMultipleDuration(t *testing.T) {
+	in := newInstance(t, nil)
+	g, err := workload.Provision(in, workload.TPCC(1, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCollector(in, []*workload.Generator{g})
+	if _, _, err := c.Collect(2500 * time.Millisecond); err == nil {
+		t.Error("duration 2.5s with 1s interval accepted (tail window silently dropped)")
+	}
+	// An exact multiple still collects.
+	perDB, _, err := c.Collect(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := perDB[workload.TPCC(1, 10).Name]; p.CPU.Len() != 2 {
+		t.Errorf("got %d samples, want 2", p.CPU.Len())
+	}
+}
+
+// Regression: an Interval that is not a multiple of Tick used to truncate
+// ticksPerSample — at Tick=100ms an Interval of 250ms simulated only 200ms
+// of load per sample, so simulated time drifted 20% short of the requested
+// duration while the sample timestamps claimed otherwise.
+func TestCollectRejectsIntervalNotMultipleOfTick(t *testing.T) {
+	in := newInstance(t, nil)
+	g, err := workload.Provision(in, workload.TPCC(1, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewCollector(in, []*workload.Generator{g})
+	c.Interval = 250 * time.Millisecond
+	if _, _, err := c.Collect(time.Second); err == nil {
+		t.Error("interval 250ms with 100ms tick accepted (simulated time would drift)")
+	}
+	c.Interval = 300 * time.Millisecond
+	if _, _, err := c.Collect(1200 * time.Millisecond); err != nil {
+		t.Errorf("valid 300ms interval rejected: %v", err)
+	}
+}
+
+// Regression: profiles built by hand (e.g. from CSV traces) carry nil
+// series; the peak helpers used to panic on them.
+func TestPeakHelpersNilSafe(t *testing.T) {
+	p := &Profile{Name: "csv-import"}
+	if v := p.PeakCPU(); !math.IsNaN(v) {
+		t.Errorf("PeakCPU on nil series = %v, want NaN", v)
+	}
+	if v := p.PeakRAMBytes(); !math.IsNaN(v) {
+		t.Errorf("PeakRAMBytes on nil series = %v, want NaN", v)
+	}
+	var nilProf *Profile
+	if v := nilProf.PeakCPU(); !math.IsNaN(v) {
+		t.Errorf("PeakCPU on nil profile = %v, want NaN", v)
+	}
+	if v := nilProf.PeakRAMBytes(); !math.IsNaN(v) {
+		t.Errorf("PeakRAMBytes on nil profile = %v, want NaN", v)
+	}
+}
+
 func TestClassify(t *testing.T) {
 	cases := []struct {
 		miss, reads float64

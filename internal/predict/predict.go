@@ -2,10 +2,16 @@
 // plans: that past workload behaviour predicts future behaviour (paper
 // Section 7.5, Figure 13). The paper averages the first two weeks of CPU
 // load to predict the third and reports an RMSE around 25 (≈7–8% of load).
+//
+// The same machinery powers event-driven re-consolidation: drift.Detector
+// scores a rolling mean-of-recent-windows forecast against each new
+// observation window (RollingForecast), and the watch loop feeds the
+// forecast series — not the stale profile — into the warm re-solve.
 package predict
 
 import (
 	"fmt"
+	"math"
 
 	"kairos/internal/series"
 	"kairos/internal/stats"
@@ -13,15 +19,72 @@ import (
 
 // WeeklyForecast is the outcome of a past-predicts-future experiment.
 type WeeklyForecast struct {
-	// Prediction is the forecast series for the target week.
+	// Prediction is the forecast series for the target window.
 	Prediction *series.Series
-	// Actual is the observed target week.
+	// Actual is the observed target window.
 	Actual *series.Series
 	// RMSE is the root-mean-squared error between them.
 	RMSE float64
-	// MeanAbsPctError is the RMSE relative to the actual mean, in percent
-	// (the paper's "7-8% off from the actual load").
-	MeanAbsPctError float64
+	// CVRMSEPct is the coefficient of variation of the RMSE — RMSE divided
+	// by the actual window's mean, in percent (the paper's "7–8% off from
+	// the actual load"). It is NaN when the actual mean is not positive:
+	// the ratio is undefined there, and reporting 0 (a "perfect" forecast,
+	// as earlier versions did) would let an idle or corrupt window slip
+	// under any drift-detection error threshold.
+	CVRMSEPct float64
+}
+
+// scoreForecast fills in the error metrics of a forecast against its
+// observed window.
+func scoreForecast(pred, actual *series.Series) (WeeklyForecast, error) {
+	rmse, err := stats.RMSE(pred.Values, actual.Values)
+	if err != nil {
+		return WeeklyForecast{}, err
+	}
+	out := WeeklyForecast{Prediction: pred, Actual: actual, RMSE: rmse, CVRMSEPct: math.NaN()}
+	if mean := actual.Mean(); mean > 0 {
+		out.CVRMSEPct = rmse / mean * 100
+	}
+	return out, nil
+}
+
+// MeanOfWindows returns the element-wise mean of the given same-shape
+// windows — the rolling forecast for the next window. The first window
+// defines start and step.
+func MeanOfWindows(windows []*series.Series) (*series.Series, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("predict: no windows to average")
+	}
+	for i, w := range windows {
+		if w == nil {
+			return nil, fmt.Errorf("predict: window %d is nil", i)
+		}
+	}
+	sum, err := series.Sum(windows)
+	if err != nil {
+		return nil, err
+	}
+	return sum.Scale(1 / float64(len(windows))), nil
+}
+
+// RollingForecast predicts an observation window as the element-wise mean
+// of the preceding history windows and scores the prediction against the
+// actual window — the AverageOfWeeks experiment restated for streaming
+// drift detection, where windows arrive one at a time instead of being
+// sliced out of one long trace.
+func RollingForecast(history []*series.Series, actual *series.Series) (WeeklyForecast, error) {
+	if actual == nil {
+		return WeeklyForecast{}, fmt.Errorf("predict: nil actual window")
+	}
+	pred, err := MeanOfWindows(history)
+	if err != nil {
+		return WeeklyForecast{}, err
+	}
+	if pred.Len() != actual.Len() || pred.Step != actual.Step {
+		return WeeklyForecast{}, fmt.Errorf("predict: forecast shape (%d×%v) does not match actual (%d×%v)",
+			pred.Len(), pred.Step, actual.Len(), actual.Step)
+	}
+	return scoreForecast(pred, actual)
 }
 
 // AverageOfWeeks predicts week `target` (0-based) of a trace as the
@@ -52,23 +115,13 @@ func AverageOfWeeks(trace *series.Series, samplesPerWeek, history, target int) (
 		}
 		weeks = append(weeks, s)
 	}
-	sum, err := series.Sum(weeks)
+	pred, err := MeanOfWindows(weeks)
 	if err != nil {
 		return WeeklyForecast{}, err
 	}
-	pred := sum.Scale(1 / float64(history))
-
 	actual, err := trace.Slice(target*samplesPerWeek, (target+1)*samplesPerWeek)
 	if err != nil {
 		return WeeklyForecast{}, err
 	}
-	rmse, err := stats.RMSE(pred.Values, actual.Values)
-	if err != nil {
-		return WeeklyForecast{}, err
-	}
-	out := WeeklyForecast{Prediction: pred, Actual: actual, RMSE: rmse}
-	if mean := actual.Mean(); mean > 0 {
-		out.MeanAbsPctError = rmse / mean * 100
-	}
-	return out, nil
+	return scoreForecast(pred, actual)
 }

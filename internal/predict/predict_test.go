@@ -81,6 +81,110 @@ func TestAveragingSmoothsNoise(t *testing.T) {
 	}
 }
 
+// Regression: a non-positive actual mean used to report CVRMSEPct = 0 — a
+// "perfect" forecast for an idle (or sign-cancelling) window — which would
+// let dead series slip under any drift-detection error threshold. The ratio
+// is undefined there, so it must be NaN.
+func TestNonPositiveMeanGivesNaNError(t *testing.T) {
+	week := 10
+	cases := []struct {
+		name string
+		mk   func(i, w int) float64
+	}{
+		{"all-zero", func(i, w int) float64 { return 0 }},
+		{"negative-mean", func(i, w int) float64 { return -3 }},
+		{"sign-cancelling", func(i, w int) float64 {
+			if i%2 == 0 {
+				return 1
+			}
+			return -1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := make([]float64, 3*week)
+			for i := range vals {
+				vals[i] = tc.mk(i%week, i/week)
+			}
+			// Make history weeks differ from the target so RMSE > 0 and a
+			// bogus 0% error cannot hide behind a genuinely perfect forecast.
+			for i := 0; i < week; i++ {
+				vals[i] += 5
+			}
+			trace := series.New(time.Unix(0, 0), time.Minute, vals)
+			fc, err := AverageOfWeeks(trace, week, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fc.RMSE <= 0 {
+				t.Fatalf("test setup broken: RMSE = %v, want > 0", fc.RMSE)
+			}
+			if !math.IsNaN(fc.CVRMSEPct) {
+				t.Errorf("CVRMSEPct = %v for actual mean %v, want NaN",
+					fc.CVRMSEPct, fc.Actual.Mean())
+			}
+		})
+	}
+}
+
+func TestMeanOfWindows(t *testing.T) {
+	start := time.Unix(0, 0)
+	a := series.New(start, time.Minute, []float64{1, 2, 3})
+	b := series.New(start, time.Minute, []float64{3, 4, 5})
+	m, err := MeanOfWindows([]*series.Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if m.Values[i] != want {
+			t.Errorf("mean[%d] = %v, want %v", i, m.Values[i], want)
+		}
+	}
+	if _, err := MeanOfWindows(nil); err == nil {
+		t.Error("empty window list accepted")
+	}
+	if _, err := MeanOfWindows([]*series.Series{a, nil}); err == nil {
+		t.Error("nil window accepted")
+	}
+	short := series.New(start, time.Minute, []float64{1})
+	if _, err := MeanOfWindows([]*series.Series{a, short}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestRollingForecast(t *testing.T) {
+	start := time.Unix(0, 0)
+	h1 := series.New(start, time.Minute, []float64{1, 1, 1, 1})
+	h2 := series.New(start, time.Minute, []float64{3, 3, 3, 3})
+	actual := series.New(start, time.Minute, []float64{2, 2, 2, 2})
+	fc, err := RollingForecast([]*series.Series{h1, h2}, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.RMSE != 0 || fc.CVRMSEPct != 0 {
+		t.Errorf("perfect forecast scored RMSE=%v CV=%v, want 0, 0", fc.RMSE, fc.CVRMSEPct)
+	}
+	// 10% uniform drift in the actual scores CV(RMSE) ≈ |Δ|/mean.
+	drifted := actual.Scale(1.1)
+	fc, err = RollingForecast([]*series.Series{h1, h2}, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc.CVRMSEPct-100*0.2/2.2) > 1e-9 {
+		t.Errorf("CVRMSEPct = %v, want %v", fc.CVRMSEPct, 100*0.2/2.2)
+	}
+	if _, err := RollingForecast(nil, actual); err == nil {
+		t.Error("empty history accepted")
+	}
+	if _, err := RollingForecast([]*series.Series{h1}, nil); err == nil {
+		t.Error("nil actual accepted")
+	}
+	short := series.New(start, time.Minute, []float64{1})
+	if _, err := RollingForecast([]*series.Series{h1}, short); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
 func TestFleetPredictability(t *testing.T) {
 	// The Figure 13 result: for Wikipedia and Second Life, the average of
 	// weeks 1–2 predicts week 3 within ≈10% of the mean load.
@@ -91,8 +195,8 @@ func TestFleetPredictability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if fc.MeanAbsPctError <= 0 || fc.MeanAbsPctError > 15 {
-			t.Errorf("%v: relative error %.1f%%, want ≈7-8%% (≤15%%)", d, fc.MeanAbsPctError)
+		if fc.CVRMSEPct <= 0 || fc.CVRMSEPct > 15 {
+			t.Errorf("%v: relative error %.1f%%, want ≈7-8%% (≤15%%)", d, fc.CVRMSEPct)
 		}
 	}
 }

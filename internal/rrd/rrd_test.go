@@ -331,3 +331,119 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFetchTimestampsAcrossWrap pins the row timestamps the drift
+// detector relies on for aligning forecast and actual windows: after the
+// ring wraps, the fetched series must start at the oldest *retained* row's
+// interval start — not the archive's epoch — for base and consolidated
+// archives alike, at every fill level around the wrap boundary.
+func TestFetchTimestampsAcrossWrap(t *testing.T) {
+	const rows = 4
+	cases := []struct {
+		name     string
+		steps    int // base samples per row
+		nSamples int
+	}{
+		{"base archive, exactly full", 1, rows},
+		{"base archive, one past wrap", 1, rows + 1},
+		{"base archive, mid second lap", 1, rows + 2},
+		{"base archive, exactly two laps", 1, 2 * rows},
+		{"base archive, many laps", 1, 5*rows + 3},
+		{"consolidated, before wrap", 3, 3 * (rows - 1)},
+		{"consolidated, exactly full", 3, 3 * rows},
+		{"consolidated, one row past wrap", 3, 3 * (rows + 1)},
+		{"consolidated, partial row in progress", 3, 3*(rows+2) + 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := mustNew(t, ArchiveSpec{Average, tc.steps, rows})
+			// Sample i carries value i so every row identifies itself: an
+			// AVERAGE row over [r·steps, (r+1)·steps) has mean
+			// r·steps + (steps-1)/2.
+			for i := 0; i < tc.nSamples; i++ {
+				db.Update(float64(i))
+			}
+			s, err := db.Fetch(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowStep := time.Duration(tc.steps) * time.Minute
+			if s.Step != rowStep {
+				t.Fatalf("step = %v, want %v", s.Step, rowStep)
+			}
+			completed := tc.nSamples / tc.steps
+			retained := completed
+			if retained > rows {
+				retained = rows
+			}
+			if s.Len() != retained {
+				t.Fatalf("rows = %d, want %d", s.Len(), retained)
+			}
+			firstRow := completed - retained
+			wantStart := t0.Add(time.Duration(firstRow) * rowStep)
+			if !s.Start.Equal(wantStart) {
+				t.Errorf("start = %v, want %v (oldest retained row %d)", s.Start, wantStart, firstRow)
+			}
+			for i := 0; i < retained; i++ {
+				r := firstRow + i
+				wantVal := float64(r*tc.steps) + float64(tc.steps-1)/2
+				if s.Values[i] != wantVal {
+					t.Errorf("row %d value = %v, want %v", r, s.Values[i], wantVal)
+				}
+				wantT := t0.Add(time.Duration(r) * rowStep)
+				if !s.TimeAt(i).Equal(wantT) {
+					t.Errorf("row %d timestamp = %v, want %v", r, s.TimeAt(i), wantT)
+				}
+			}
+		})
+	}
+}
+
+// TestFetchWrapAlignsWithForecastWindows is the end-to-end property the
+// detector depends on: two archives of the same DB (raw and consolidated)
+// fetched after wrap-around describe the same wall-clock moments — a
+// sample fetched from the raw ring and the consolidated row covering it
+// agree on timing even when both rings have wrapped different distances.
+func TestFetchWrapAlignsWithForecastWindows(t *testing.T) {
+	db := mustNew(t,
+		ArchiveSpec{Average, 1, 7}, // raw ring, wraps fast
+		ArchiveSpec{Average, 4, 5}, // consolidated, wraps slower
+	)
+	n := 43 // both rings wrapped several times, consolidation row in progress
+	for i := 0; i < n; i++ {
+		db.Update(float64(i))
+	}
+	raw, err := db.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := db.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every retained consolidated row, the raw samples it covers (when
+	// still retained) must fall inside [row start, row start + row step).
+	for ci := 0; ci < cons.Len(); ci++ {
+		rowStart := cons.TimeAt(ci)
+		rowEnd := rowStart.Add(cons.Step)
+		for ri := 0; ri < raw.Len(); ri++ {
+			ts := raw.TimeAt(ri)
+			if ts.Before(rowStart) || !ts.Before(rowEnd) {
+				continue
+			}
+			// Raw sample value v was ingested at t0 + v·step: timestamp
+			// and value must agree after any number of wraps.
+			wantTs := t0.Add(time.Duration(raw.Values[ri]) * time.Minute)
+			if !ts.Equal(wantTs) {
+				t.Errorf("raw sample %d: timestamp %v, value says %v", ri, ts, wantTs)
+			}
+		}
+	}
+	// The newest consolidated row must end no later than the newest raw
+	// sample's interval end (the in-progress row is invisible).
+	lastCons := cons.TimeAt(cons.Len() - 1).Add(cons.Step)
+	lastRaw := raw.TimeAt(raw.Len() - 1).Add(raw.Step)
+	if lastCons.After(lastRaw) {
+		t.Errorf("consolidated archive ends %v, after raw %v", lastCons, lastRaw)
+	}
+}

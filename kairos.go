@@ -21,6 +21,13 @@
 //     search, that minimizes the machine count and balances load without
 //     over-committing any resource at any time step.
 //
+// The pipeline also closes into a loop: Reconsolidate warm-starts a
+// re-solve from a saved incumbent plan when the fleet drifts, and the
+// watch facade (watch.go: NewAutoReconsolidator, Watch) triggers those
+// re-solves from monitored drift — utilization deltas or forecast error
+// against the plan's assumptions (internal/drift) — feeding the rolling
+// forecast in as the re-solve's workload series.
+//
 // Everything runs against a built-in DBMS/disk simulator (internal/dbms,
 // internal/disk), so the whole system — including the paper's experiments —
 // works on a laptop with no external dependencies.
