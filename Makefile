@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-hot bench-resolve bench-drift bench-json lint fmt ci
+.PHONY: build test test-full race race-server bench bench-hot bench-resolve bench-drift bench-json serve-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ test-full:
 
 race:
 	$(GO) test -race -short ./...
+
+# Control-plane tests under the race detector, full (not -short): includes
+# the 197-server HTTP e2e with concurrent collectors.
+race-server:
+	$(GO) test -race ./internal/server/
 
 # Benchmark smoke: every benchmark once, no unit tests. The full figure
 # benchmarks regenerate the paper's evaluation; see bench_test.go.
@@ -59,6 +64,12 @@ bench-json:
 bench-resolve:
 	$(GO) test -bench='ResolveWarmVsCold|SweepEnvelope' -benchmem -benchtime=1x -run='^$$' .
 
+# Serve smoke: boot the kairos serve daemon, register a small synthetic
+# fleet over HTTP, stream a quiet and a drifted window with curl, and
+# assert the drift trigger shows up in /metrics.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -67,4 +78,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint test race bench
+ci: build lint test race race-server serve-smoke bench

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"kairos"
+	"kairos/internal/dbms"
+	"kairos/internal/disk"
+	"kairos/internal/workload"
+)
+
+// cmdGauge runs the buffer-pool gauging demo on a simulated DBMS (paper
+// Figure 2): measure a hidden working set without touching configuration.
+func cmdGauge(args []string) error {
+	fs := flag.NewFlagSet("gauge", flag.ExitOnError)
+	poolMB := fs.Int64("pool", 953, "buffer pool size (MB)")
+	warehouses := fs.Int("warehouses", 2, "TPC-C scale of the hosted workload")
+	tps := fs.Float64("tps", 100, "workload transaction rate")
+	window := fs.Duration("window", 5*time.Second, "observation window per probe step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := disk.New(disk.Server7200SATA())
+	if err != nil {
+		return err
+	}
+	cfg := dbms.DefaultConfig()
+	cfg.BufferPoolBytes = *poolMB << 20
+	in, err := dbms.NewInstance(cfg, d, 0)
+	if err != nil {
+		return err
+	}
+	spec := workload.TPCC(*warehouses, *tps)
+	gen, err := workload.Provision(in, spec, true)
+	if err != nil {
+		return err
+	}
+	gc := kairos.GaugeConfig{
+		ProbeTable: "kairos_probe", InitialGrowPages: 256, MaxStealFraction: 0.95,
+		Window: *window, ScansPerWindow: 5, ReadIncreaseThreshold: 20,
+		Tick: 100 * time.Millisecond,
+	}
+	fmt.Printf("pool %d MB, hidden working set %d MB; gauging...\n",
+		*poolMB, spec.WorkingSetBytes()>>20)
+	res, err := kairos.GaugeWorkingSet(in, []*workload.Generator{gen}, gc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("stolen_MB  reads_per_sec")
+	for _, pt := range res.Curve {
+		fmt.Printf("%9.0f  %13.1f\n", float64(pt.StolenBytes)/1e6, pt.ReadsPerSec)
+	}
+	fmt.Printf("detected=%v  gauged working set = %d MB (true %d MB)  elapsed %v\n",
+		res.Detected, res.WorkingSetBytes>>20, spec.WorkingSetBytes()>>20, res.Elapsed)
+	return nil
+}

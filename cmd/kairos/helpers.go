@@ -1,0 +1,127 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kairos"
+	"kairos/internal/core"
+	"kairos/internal/fleet"
+	"kairos/internal/model"
+)
+
+// pickFleet resolves a dataset name to its generated trace fleet.
+func pickFleet(name string) (fleet.Fleet, error) {
+	switch strings.ToLower(name) {
+	case "internal":
+		return fleet.Generate(fleet.Internal), nil
+	case "wikia":
+		return fleet.Generate(fleet.Wikia), nil
+	case "wikipedia":
+		return fleet.Generate(fleet.Wikipedia), nil
+	case "secondlife":
+		return fleet.Generate(fleet.SecondLife), nil
+	case "all":
+		return fleet.All(), nil
+	default:
+		return fleet.Fleet{}, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+// loadProfile reads a disk profile written by `kairos profile-disk`
+// (empty path = no disk constraint).
+func loadProfile(path string) (*model.DiskProfile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.LoadProfile(f)
+}
+
+// loadIncumbent reads a plan saved with -save-plan.
+func loadIncumbent(path string) (*kairos.Incumbent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadIncumbent(f)
+}
+
+// saveIncumbent writes an incumbent plan for later -resolve runs.
+func saveIncumbent(path string, inc *kairos.Incumbent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := inc.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// targetMachines builds n copies of the standard 12-core/96GB target.
+func targetMachines(n int, headroom float64) []core.Machine {
+	out := make([]core.Machine, n)
+	for i := range out {
+		out[i] = fleet.TargetMachine(fmt.Sprintf("target-%02d", i), 50e6, headroom)
+	}
+	return out
+}
+
+// solverFlags are the solver knobs shared by consolidate and watch.
+type solverFlags struct {
+	parallel *int
+	bucket   *int
+}
+
+// addSolverFlags registers the shared solver flags on fs.
+func addSolverFlags(fs *flag.FlagSet) *solverFlags {
+	return &solverFlags{
+		parallel: fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)"),
+		bucket: fs.Int("bucket", 0, "coarse-pricing bucket width in time steps for the move screen "+
+			"(0 = default T/16, negative = screen off); plans are identical for every setting"),
+	}
+}
+
+// options resolves the flags into solve options.
+func (sf *solverFlags) options() kairos.SolveOptions {
+	opt := kairos.DefaultOptions()
+	switch {
+	case *sf.parallel == 0:
+		opt = kairos.ParallelOptions()
+	case *sf.parallel > 1:
+		opt.Workers = *sf.parallel
+	}
+	opt.BucketWidth = *sf.bucket
+	return opt
+}
+
+// specFlags are the fleet-description knobs shared by consolidate and
+// watch: disk profile, RAM scaling and per-machine headroom.
+type specFlags struct {
+	profile  *string
+	ramScale *float64
+	headroom *float64
+}
+
+// addSpecFlags registers the shared fleet-spec flags on fs.
+func addSpecFlags(fs *flag.FlagSet) *specFlags {
+	return &specFlags{
+		profile:  fs.String("profile", "", "disk profile JSON from profile-disk (omit to skip the disk constraint)"),
+		ramScale: fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics"),
+		headroom: fs.Float64("headroom", 0.05, "per-machine safety margin"),
+	}
+}
+
+// diskProfile loads the -profile flag's model.
+func (sp *specFlags) diskProfile() (*model.DiskProfile, error) {
+	return loadProfile(*sp.profile)
+}

@@ -1,30 +1,22 @@
 // Command kairos is the command-line front end to the Kairos consolidation
-// system. Subcommands cover the whole paper pipeline:
+// system. Subcommands cover the whole paper pipeline plus the deployable
+// control plane:
 //
 //	kairos profile-disk   build the empirical disk model of the target hardware
 //	kairos gauge          measure a DBMS working set by buffer-pool gauging
 //	kairos consolidate    compute a consolidation plan for a fleet
+//	kairos watch          event-driven re-consolidation over trace snapshots
+//	kairos serve          long-running HTTP control plane (register/ingest/query)
 //	kairos report         run the full Figure-7 style consolidation report
 //
-// Run `kairos <subcommand> -h` for per-command flags.
+// Run `kairos <subcommand> -h` for per-command flags. Each subcommand
+// lives in its own file (consolidate.go, watch.go, serve.go, ...), with
+// the flag helpers they share in helpers.go.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
-	"time"
-
-	"kairos"
-	"kairos/internal/core"
-	"kairos/internal/dbms"
-	"kairos/internal/disk"
-	"kairos/internal/fleet"
-	"kairos/internal/model"
-	"kairos/internal/workload"
 )
 
 func main() {
@@ -42,6 +34,8 @@ func main() {
 		err = cmdConsolidate(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -65,402 +59,7 @@ subcommands:
   gauge          buffer-pool gauging demo on a simulated DBMS (Figure 2)
   consolidate    consolidate a fleet onto 12-core/96GB targets (Figure 7)
   watch          event-driven re-consolidation over a directory of trace snapshots
+  serve          HTTP control plane: register fleets, stream windows, query plans
   report         consolidation report over all datasets
 `)
-}
-
-func cmdProfileDisk(args []string) error {
-	fs := flag.NewFlagSet("profile-disk", flag.ExitOnError)
-	quick := fs.Bool("quick", true, "use the reduced sweep")
-	out := fs.String("o", "disk-profile.json", "output JSON path")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	pr := model.DefaultProfiler()
-	if *quick {
-		pr = kairos.QuickProfiler()
-	}
-	fmt.Printf("profiling %q (%d x %d sweep)...\n", pr.ConfigName, len(pr.WSPointsMB), len(pr.RatePoints))
-	dp, err := pr.Run()
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := dp.Save(f); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d points, saturation envelope=%v)\n", *out, len(dp.Points), dp.HasEnvelope)
-	return nil
-}
-
-func cmdGauge(args []string) error {
-	fs := flag.NewFlagSet("gauge", flag.ExitOnError)
-	poolMB := fs.Int64("pool", 953, "buffer pool size (MB)")
-	warehouses := fs.Int("warehouses", 2, "TPC-C scale of the hosted workload")
-	tps := fs.Float64("tps", 100, "workload transaction rate")
-	window := fs.Duration("window", 5*time.Second, "observation window per probe step")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	d, err := disk.New(disk.Server7200SATA())
-	if err != nil {
-		return err
-	}
-	cfg := dbms.DefaultConfig()
-	cfg.BufferPoolBytes = *poolMB << 20
-	in, err := dbms.NewInstance(cfg, d, 0)
-	if err != nil {
-		return err
-	}
-	spec := workload.TPCC(*warehouses, *tps)
-	gen, err := workload.Provision(in, spec, true)
-	if err != nil {
-		return err
-	}
-	gc := kairos.GaugeConfig{
-		ProbeTable: "kairos_probe", InitialGrowPages: 256, MaxStealFraction: 0.95,
-		Window: *window, ScansPerWindow: 5, ReadIncreaseThreshold: 20,
-		Tick: 100 * time.Millisecond,
-	}
-	fmt.Printf("pool %d MB, hidden working set %d MB; gauging...\n",
-		*poolMB, spec.WorkingSetBytes()>>20)
-	res, err := kairos.GaugeWorkingSet(in, []*workload.Generator{gen}, gc)
-	if err != nil {
-		return err
-	}
-	fmt.Println("stolen_MB  reads_per_sec")
-	for _, pt := range res.Curve {
-		fmt.Printf("%9.0f  %13.1f\n", float64(pt.StolenBytes)/1e6, pt.ReadsPerSec)
-	}
-	fmt.Printf("detected=%v  gauged working set = %d MB (true %d MB)  elapsed %v\n",
-		res.Detected, res.WorkingSetBytes>>20, spec.WorkingSetBytes()>>20, res.Elapsed)
-	return nil
-}
-
-func pickFleet(name string) (fleet.Fleet, error) {
-	switch strings.ToLower(name) {
-	case "internal":
-		return fleet.Generate(fleet.Internal), nil
-	case "wikia":
-		return fleet.Generate(fleet.Wikia), nil
-	case "wikipedia":
-		return fleet.Generate(fleet.Wikipedia), nil
-	case "secondlife":
-		return fleet.Generate(fleet.SecondLife), nil
-	case "all":
-		return fleet.All(), nil
-	default:
-		return fleet.Fleet{}, fmt.Errorf("unknown dataset %q", name)
-	}
-}
-
-func loadProfile(path string) (*model.DiskProfile, error) {
-	if path == "" {
-		return nil, nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return model.LoadProfile(f)
-}
-
-func cmdConsolidate(args []string) error {
-	fs := flag.NewFlagSet("consolidate", flag.ExitOnError)
-	dataset := fs.String("dataset", "internal", "internal|wikia|wikipedia|secondlife|all")
-	traces := fs.String("traces", "", "consolidate recorded traces from this CSV file instead of a built-in dataset")
-	profilePath := fs.String("profile", "", "disk profile JSON from profile-disk (omit to skip the disk constraint)")
-	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
-	headroom := fs.Float64("headroom", 0.05, "per-machine safety margin")
-	verbose := fs.Bool("v", false, "print the full placement")
-	parallel := fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)")
-	bucket := fs.Int("bucket", 0, "coarse-pricing bucket width in time steps for the move screen (0 = default T/16, negative = screen off); plans are identical for every setting")
-	shards := fs.Int("shards", 0, "split the fleet into this many correlation-aware shards solved concurrently (0 = single global solve)")
-	savePlan := fs.String("save-plan", "", "write the computed plan to this JSON file for later -resolve runs")
-	resolvePath := fs.String("resolve", "", "warm-start from a plan saved with -save-plan instead of solving cold (rolling re-consolidation)")
-	migWeight := fs.Float64("mig-weight", 0.05, "with -resolve: migration cost per average-working-set unit moved off its incumbent machine (0 = free migrations)")
-	maxMig := fs.Int("max-migrations", 0, "with -resolve: cap on units moved off their incumbent machine (0 = unlimited)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *resolvePath != "" && *shards > 0 {
-		return fmt.Errorf("-resolve and -shards are mutually exclusive (warm re-solves polish globally)")
-	}
-	var f fleet.Fleet
-	var err error
-	if *traces != "" {
-		file, ferr := os.Open(*traces)
-		if ferr != nil {
-			return ferr
-		}
-		f, err = fleet.ReadCSV(file, *traces)
-		file.Close()
-	} else {
-		f, err = pickFleet(*dataset)
-	}
-	if err != nil {
-		return err
-	}
-	dp, err := loadProfile(*profilePath)
-	if err != nil {
-		return err
-	}
-	wls := f.Workloads(*ramScale)
-	machines := make([]core.Machine, len(f.Servers))
-	for i := range machines {
-		machines[i] = fleet.TargetMachine(fmt.Sprintf("target-%02d", i), 50e6, *headroom)
-	}
-	opt := kairos.DefaultOptions()
-	switch {
-	case *parallel == 0:
-		opt = kairos.ParallelOptions()
-	case *parallel > 1:
-		opt.Workers = *parallel
-	}
-	opt.BucketWidth = *bucket
-	var plan *kairos.Plan
-	switch {
-	case *resolvePath != "":
-		inc, rerr := loadIncumbent(*resolvePath)
-		if rerr != nil {
-			return rerr
-		}
-		opt.MigrationWeight = *migWeight
-		opt.MaxMigrations = *maxMig
-		plan, err = kairos.Reconsolidate(wls, machines, dp, inc, opt)
-	case *shards > 0:
-		plan, err = kairos.ConsolidateFleet(wls, machines, dp,
-			kairos.ShardOptions{Shards: *shards, Options: opt})
-	default:
-		plan, err = kairos.Consolidate(wls, machines, dp, opt)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s: %d servers -> %d machines (%.1f:1), feasible=%v, solved in %v\n",
-		f.Name, len(f.Servers), plan.K, plan.ConsolidationRatio(len(f.Servers)),
-		plan.Feasible, plan.Elapsed.Round(time.Millisecond))
-	if *resolvePath != "" {
-		fmt.Printf("warm re-solve: %d/%d units migrated (migration cost %.3f, %d fevals)\n",
-			plan.Migrated, len(plan.Assign), plan.MigrationCost, plan.Fevals)
-	}
-	if *savePlan != "" {
-		if err := writeIncumbent(*savePlan, plan); err != nil {
-			return err
-		}
-		fmt.Printf("wrote plan to %s (re-solve later with -resolve %s)\n", *savePlan, *savePlan)
-	}
-	if *verbose {
-		fmt.Print(plan)
-	}
-	return nil
-}
-
-// cmdWatch runs the event-driven re-consolidation loop over a directory of
-// trace snapshots (CSV fleets as written by tracegen, lexicographic order):
-// the first snapshot is the baseline the incumbent plan is solved against
-// (or, with -resolve, the fleet an existing saved plan assumed), and every
-// later snapshot is one observation window fed to the drift detector. A
-// re-solve runs only when drift crosses the threshold; each one prints a
-// ReconsolidationEvent line.
-func cmdWatch(args []string) error {
-	fs := flag.NewFlagSet("watch", flag.ExitOnError)
-	dir := fs.String("snapshots", "", "directory of CSV trace snapshots, one observation window per file (required)")
-	profilePath := fs.String("profile", "", "disk profile JSON from profile-disk (omit to skip the disk constraint)")
-	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
-	headroom := fs.Float64("headroom", 0.05, "per-machine safety margin")
-	threshold := fs.Float64("drift-threshold", 0.04, "relative drift (utilization delta or forecast CV(RMSE)) that triggers a re-solve")
-	rearm := fs.Float64("rearm", 0, "hysteresis re-arm level (0 = half the threshold)")
-	cooldown := fs.Int("cooldown", 1, "observation windows suppressed after a trigger")
-	history := fs.Int("history", 2, "windows averaged into the rolling forecast the re-solve consumes")
-	minWorkloads := fs.Int("min-workloads", 1, "distinct drifted workloads required to trigger")
-	migWeight := fs.Float64("mig-weight", 0.05, "migration cost per average-working-set unit moved off its incumbent machine")
-	maxMig := fs.Int("max-migrations", 0, "cap on units migrated per re-solve (0 = unlimited)")
-	resolvePath := fs.String("resolve", "", "start from a plan saved with consolidate -save-plan instead of solving the first snapshot cold")
-	savePlan := fs.String("save-plan", "", "write the final incumbent plan to this JSON file")
-	parallel := fs.Int("parallel", 1, "solver worker goroutines (0 = one per CPU, 1 = sequential)")
-	verbose := fs.Bool("v", false, "print every window, not just triggers")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *dir == "" {
-		return fmt.Errorf("watch: -snapshots directory is required")
-	}
-	entries, err := os.ReadDir(*dir)
-	if err != nil {
-		return err
-	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
-			files = append(files, filepath.Join(*dir, e.Name()))
-		}
-	}
-	sort.Strings(files)
-	if len(files) < 2 {
-		return fmt.Errorf("watch: need a baseline plus at least one observation snapshot, found %d CSV files in %s", len(files), *dir)
-	}
-	dp, err := loadProfile(*profilePath)
-	if err != nil {
-		return err
-	}
-	readSnapshot := func(path string) ([]kairos.Workload, int, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, 0, err
-		}
-		defer f.Close()
-		fl, err := fleet.ReadCSV(f, path)
-		if err != nil {
-			return nil, 0, err
-		}
-		return fl.Workloads(*ramScale), len(fl.Servers), nil
-	}
-
-	baseline, nServers, err := readSnapshot(files[0])
-	if err != nil {
-		return err
-	}
-	machines := make([]core.Machine, nServers)
-	for i := range machines {
-		machines[i] = fleet.TargetMachine(fmt.Sprintf("target-%02d", i), 50e6, *headroom)
-	}
-	opt := kairos.DefaultOptions()
-	switch {
-	case *parallel == 0:
-		opt = kairos.ParallelOptions()
-	case *parallel > 1:
-		opt.Workers = *parallel
-	}
-
-	var inc *kairos.Incumbent
-	if *resolvePath != "" {
-		if inc, err = loadIncumbent(*resolvePath); err != nil {
-			return err
-		}
-		fmt.Printf("baseline %s: incumbent plan %s (K=%d)\n", files[0], *resolvePath, inc.K)
-	} else {
-		solveOpt := opt
-		solveOpt.SkipDirect = true // fleet-scale streams use the local-search path
-		plan, err := kairos.Consolidate(baseline, machines, dp, solveOpt)
-		if err != nil {
-			return err
-		}
-		inc = plan.Incumbent()
-		fmt.Printf("baseline %s: %d workloads -> %d machines (feasible=%v)\n",
-			files[0], len(baseline), plan.K, plan.Feasible)
-	}
-
-	wopt := kairos.DefaultWatchOptions()
-	wopt.Drift.Threshold = *threshold
-	wopt.Drift.Rearm = *rearm
-	wopt.Drift.Cooldown = *cooldown
-	wopt.Drift.History = *history
-	wopt.Drift.MinWorkloads = *minWorkloads
-	wopt.Resolve = opt
-	wopt.Resolve.SkipDirect = true
-	wopt.Resolve.MigrationWeight = *migWeight
-	wopt.Resolve.MaxMigrations = *maxMig
-	ar, err := kairos.NewAutoReconsolidator(inc, baseline, machines, dp, wopt)
-	if err != nil {
-		return err
-	}
-	triggers := 0
-	for _, path := range files[1:] {
-		window, _, err := readSnapshot(path)
-		if err != nil {
-			return fmt.Errorf("watch: snapshot %s: %w", path, err)
-		}
-		ev, err := ar.Observe(window)
-		if err != nil {
-			return fmt.Errorf("watch: snapshot %s: %w", path, err)
-		}
-		switch {
-		case ev != nil:
-			triggers++
-			fmt.Printf("%s: %v\n", path, ev)
-		case *verbose:
-			fmt.Printf("%s: window %d, plan holds\n", path, ar.Window()-1)
-		}
-	}
-	fmt.Printf("watched %d windows: %d re-consolidations (final K=%d)\n",
-		len(files)-1, triggers, ar.Incumbent().K)
-	if *savePlan != "" {
-		f, err := os.Create(*savePlan)
-		if err != nil {
-			return err
-		}
-		if err := ar.Incumbent().Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote final plan to %s\n", *savePlan)
-	}
-	return nil
-}
-
-// loadIncumbent reads a plan saved with -save-plan.
-func loadIncumbent(path string) (*kairos.Incumbent, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.LoadIncumbent(f)
-}
-
-// writeIncumbent saves a computed plan for later -resolve runs.
-func writeIncumbent(path string, plan *kairos.Plan) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := plan.Incumbent().Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func cmdReport(args []string) error {
-	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	fmt.Printf("%-12s %8s %8s %8s %9s\n", "dataset", "servers", "kairos", "ideal", "ratio")
-	names := []string{"internal", "wikia", "wikipedia", "secondlife", "all"}
-	for _, name := range names {
-		f, err := pickFleet(name)
-		if err != nil {
-			return err
-		}
-		wls := f.Workloads(*ramScale)
-		machines := make([]core.Machine, len(f.Servers))
-		for i := range machines {
-			machines[i] = fleet.TargetMachine(fmt.Sprintf("t%d", i), 50e6, 0.05)
-		}
-		p := &core.Problem{Workloads: wls, Machines: machines}
-		sol, err := core.Solve(p, core.DefaultSolveOptions())
-		if err != nil {
-			return err
-		}
-		ev, err := core.NewEvaluator(p)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-12s %8d %8d %8d %8.1f:1\n",
-			f.Name, len(f.Servers), sol.K, ev.FractionalLowerBound(),
-			sol.ConsolidationRatio(len(f.Servers)))
-	}
-	return nil
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"kairos/internal/core"
+	"kairos/internal/fleet"
+)
+
+// cmdReport prints the Figure-7 style consolidation table over every
+// built-in dataset.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	ramScale := fs.Float64("ram-scale", 0.7, "RAM scaling for ungauged statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %8s %8s %9s\n", "dataset", "servers", "kairos", "ideal", "ratio")
+	names := []string{"internal", "wikia", "wikipedia", "secondlife", "all"}
+	for _, name := range names {
+		f, err := pickFleet(name)
+		if err != nil {
+			return err
+		}
+		wls := f.Workloads(*ramScale)
+		machines := make([]core.Machine, len(f.Servers))
+		for i := range machines {
+			machines[i] = fleet.TargetMachine(fmt.Sprintf("t%d", i), 50e6, 0.05)
+		}
+		p := &core.Problem{Workloads: wls, Machines: machines}
+		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		if err != nil {
+			return err
+		}
+		ev, err := core.NewEvaluator(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8d %8d %8d %8.1f:1\n",
+			f.Name, len(f.Servers), sol.K, ev.FractionalLowerBound(),
+			sol.ConsolidationRatio(len(f.Servers)))
+	}
+	return nil
+}

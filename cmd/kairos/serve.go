@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kairos/internal/server"
+)
+
+// cmdServe runs the long-running control plane: an HTTP daemon exposing
+// the /v1/ fleet API (register fleets, stream observation windows from
+// concurrent collectors, query plans and re-consolidation events) plus
+// Prometheus-text /metrics. One reconcile goroutine runs per registered
+// fleet; SIGINT/SIGTERM shut the daemon down gracefully, draining
+// in-flight ingests before exiting.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	quiet := fs.Bool("q", false, "suppress per-event logging")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logf := log.New(os.Stderr, "kairos: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	cp := server.New(logf)
+	httpSrv := &http.Server{Addr: *addr, Handler: cp.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "kairos: serving fleet API on %s (POST /v1/fleets to register)\n", *addr)
+
+	select {
+	case err := <-errc:
+		cp.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "kairos: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	err := httpSrv.Shutdown(sctx)
+	if closeErr := cp.Close(); err == nil {
+		err = closeErr
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
+}

@@ -1,0 +1,305 @@
+package kairos
+
+import (
+	"fmt"
+	"sync"
+
+	"kairos/internal/core"
+)
+
+// This file is the package's primary API: a Fleet session handle that owns
+// one fleet's consolidation state — the spec it was registered with, the
+// current plan/incumbent, the drift detector, and the event log — behind
+// four verbs: Consolidate, Observe, Plan, Events. The free functions in
+// kairos.go (Consolidate, ConsolidateFleet, Reconsolidate, Watch) are
+// deprecated one-call wrappers over this handle, and the HTTP control
+// plane (internal/server, `kairos serve`) is a thin remote projection of
+// it: one Fleet per registered fleet, one reconcile loop per Fleet.
+
+// FleetSpec describes a fleet under management: the workloads to place,
+// the target machines, and optionally the empirical disk model of the
+// target hardware. It is the one input every session starts from; solver,
+// drift and sharding knobs come in as FleetOptions.
+type FleetSpec struct {
+	// Name identifies the fleet (used by the control plane and logs; may
+	// be empty for library use).
+	Name string
+	// Workloads are the resource profiles to place. For Observe to work,
+	// every workload needs a unique non-empty Name — observation windows
+	// are matched to baselines by name.
+	Workloads []Workload
+	// Machines are the consolidation targets, in preference order.
+	Machines []Machine
+	// Disk is the target hardware's empirical profile; nil disables the
+	// non-linear disk constraint.
+	Disk *DiskProfile
+}
+
+// fleetConfig is the resolved option set of a Fleet session. It collapses
+// what used to be three overlapping option structs — SolveOptions (cold
+// solves), WatchOptions (drift + re-solve knobs) and ShardOptions (fleet-
+// scale sharding) — into one place.
+type fleetConfig struct {
+	solve   SolveOptions
+	resolve SolveOptions
+	drift   DriftConfig
+	// sharded selects SolveSharded for cold solves; shardOpt carries the
+	// full shard knobs when WithSharding was used, otherwise shards (from
+	// WithShards) plus the session's solve options apply.
+	sharded  bool
+	shards   int
+	shardOpt *ShardOptions
+	// inc seeds the session with an existing plan (WithIncumbent): Observe
+	// works immediately and Consolidate re-solves warm instead of cold.
+	inc *Incumbent
+}
+
+// FleetOption configures a Fleet session at construction.
+type FleetOption func(*fleetConfig)
+
+// WithSolveOptions sets the budgets for cold solves (Consolidate without
+// an incumbent). Defaults to DefaultOptions.
+func WithSolveOptions(opt SolveOptions) FleetOption {
+	return func(c *fleetConfig) { c.solve = opt }
+}
+
+// WithResolveOptions sets the budgets for warm re-solves — both explicit
+// Consolidate calls on a session that already has an incumbent and the
+// drift-triggered re-solves behind Observe. Defaults to
+// DefaultResolveOptions.
+func WithResolveOptions(opt SolveOptions) FleetOption {
+	return func(c *fleetConfig) { c.resolve = opt }
+}
+
+// WithDrift tunes the drift detector behind Observe: trigger threshold,
+// hysteresis re-arm level, cool-down windows, forecast history and
+// workload quorum. Defaults to a 4% threshold with one cool-down window.
+func WithDrift(cfg DriftConfig) FleetOption {
+	return func(c *fleetConfig) { c.drift = cfg }
+}
+
+// WithShards makes cold solves use the sharded fleet engine with n
+// correlation-aware shards solved concurrently (0 lets the engine derive
+// the count from the fleet size). Each shard solves with the session's
+// solve options.
+func WithShards(n int) FleetOption {
+	return func(c *fleetConfig) { c.sharded, c.shards = true, n }
+}
+
+// WithSharding is WithShards with full control over the shard engine
+// (per-shard workload caps, rebalance rounds, per-shard solver budgets).
+func WithSharding(opt ShardOptions) FleetOption {
+	return func(c *fleetConfig) { c.sharded, c.shardOpt = true, &opt }
+}
+
+// WithIncumbent seeds the session with a previously saved plan: Observe
+// watches for drift against it immediately (no cold solve needed), and an
+// explicit Consolidate call re-solves warm from it, charging migration
+// costs per the resolve options.
+func WithIncumbent(inc *Incumbent) FleetOption {
+	return func(c *fleetConfig) { c.inc = inc }
+}
+
+// Fleet is a consolidation session: it owns one fleet's incumbent plan,
+// drift detector and re-consolidation event log. Create it with NewFleet,
+// compute the initial plan with Consolidate (or seed one WithIncumbent),
+// then stream observation windows through Observe — each drift trigger
+// re-solves warm and advances the plan. All methods are safe for
+// concurrent use; windows arriving from multiple collectors serialize
+// internally.
+type Fleet struct {
+	mu     sync.Mutex
+	spec   FleetSpec
+	cfg    fleetConfig
+	plan   *Plan
+	ar     *AutoReconsolidator
+	events []*ReconsolidationEvent
+}
+
+// NewFleet opens a consolidation session for the fleet described by spec.
+// The spec is validated structurally (series shapes, machine capacities)
+// up front; workload-name uniqueness is only required once Observe is
+// used.
+func NewFleet(spec FleetSpec, opts ...FleetOption) (*Fleet, error) {
+	cfg := fleetConfig{
+		solve:   DefaultOptions(),
+		resolve: DefaultResolveOptions(),
+		drift:   DriftConfig{Threshold: 0.04, Cooldown: 1},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p := &Problem{Workloads: spec.Workloads, Machines: spec.Machines, Disk: spec.Disk}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fleet{spec: spec, cfg: cfg}, nil
+}
+
+// Name returns the fleet's name from the spec.
+func (f *Fleet) Name() string { return f.spec.Name }
+
+// problem builds the session's consolidation instance.
+func (f *Fleet) problem() *Problem {
+	return &Problem{Workloads: f.spec.Workloads, Machines: f.spec.Machines, Disk: f.spec.Disk}
+}
+
+// shardOptions resolves the shard-engine knobs for a sharded cold solve.
+func (f *Fleet) shardOptions() ShardOptions {
+	if f.cfg.shardOpt != nil {
+		return *f.cfg.shardOpt
+	}
+	return ShardOptions{Shards: f.cfg.shards, Options: f.cfg.solve}
+}
+
+// Consolidate computes the session's plan from the spec workloads: a cold
+// solve (sharded if the session was built WithShards/WithSharding) when
+// the session has no incumbent yet, a warm re-solve with migration
+// pricing when it does (WithIncumbent, or a previous Consolidate/trigger).
+// The result becomes the incumbent that Observe watches and future
+// triggers warm-start from.
+func (f *Fleet) Consolidate() (*Plan, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.problem()
+	var sol *Solution
+	var err error
+	switch inc := f.incumbentLocked(); {
+	case inc != nil:
+		sol, err = core.Resolve(p, inc, f.cfg.resolve)
+	case f.cfg.sharded:
+		sol, err = core.SolveSharded(p, f.shardOptions())
+	default:
+		sol, err = core.Solve(p, f.cfg.solve)
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan, err := newPlan(p, sol)
+	if err != nil {
+		return nil, err
+	}
+	f.plan = plan
+	// The watch loop (if any) was tracking the old plan's assumptions;
+	// drop it so the next Observe rebuilds against the fresh incumbent.
+	f.ar = nil
+	return plan, nil
+}
+
+// incumbentLocked returns the session's current incumbent: the live watch
+// loop's (it advances on triggers), else the last computed plan's, else
+// the WithIncumbent seed. Callers hold f.mu.
+func (f *Fleet) incumbentLocked() *Incumbent {
+	if f.ar != nil {
+		return f.ar.Incumbent()
+	}
+	if f.plan != nil {
+		return f.plan.Incumbent()
+	}
+	return f.cfg.inc
+}
+
+// Incumbent returns the plan the next drift trigger will warm-start from,
+// in its durable form (nil until Consolidate runs or WithIncumbent seeds
+// one).
+func (f *Fleet) Incumbent() *Incumbent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.incumbentLocked()
+}
+
+// Plan returns the latest computed plan: the initial Consolidate result
+// until a trigger fires, then each triggered re-solve's. Nil for sessions
+// seeded WithIncumbent before any solve has run.
+func (f *Fleet) Plan() *Plan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan
+}
+
+// Events returns the re-consolidation event log, oldest first.
+func (f *Fleet) Events() []*ReconsolidationEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*ReconsolidationEvent(nil), f.events...)
+}
+
+// Window returns how many observation windows the session has consumed.
+func (f *Fleet) Window() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ar == nil {
+		return 0
+	}
+	return f.ar.Window()
+}
+
+// watchLoopLocked returns the session's watch loop, building it on first
+// use around the current incumbent with the spec workloads as the
+// baseline assumptions. Callers hold f.mu.
+func (f *Fleet) watchLoopLocked() (*AutoReconsolidator, error) {
+	if f.ar != nil {
+		return f.ar, nil
+	}
+	inc := f.incumbentLocked()
+	if inc == nil {
+		return nil, fmt.Errorf("kairos: fleet %q has no plan to watch: call Consolidate first or seed one WithIncumbent", f.spec.Name)
+	}
+	ar, err := NewAutoReconsolidator(inc, f.spec.Workloads, f.spec.Machines, f.spec.Disk,
+		WatchOptions{Drift: f.cfg.drift, Resolve: f.cfg.resolve})
+	if err != nil {
+		return nil, err
+	}
+	f.ar = ar
+	return ar, nil
+}
+
+// Observe consumes one observation window (the fleet's measured workload
+// series for the period, matched to the spec by workload name). It
+// returns (nil, nil) while the plan holds; when the drift detector fires
+// it re-solves warm from the incumbent on the forecast series, records
+// the event, and returns it. Safe to call from many collectors at once.
+func (f *Fleet) Observe(window []Workload) (*ReconsolidationEvent, error) {
+	f.mu.Lock()
+	ar, err := f.watchLoopLocked()
+	if err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	// Release the session lock during the (possibly seconds-long) observe:
+	// the loop serializes on its own mutex, and Plan/Events stay readable.
+	f.mu.Unlock()
+	ev, err := ar.Observe(window)
+	if err != nil || ev == nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.plan = ev.Plan
+	f.events = append(f.events, ev)
+	f.mu.Unlock()
+	return ev, nil
+}
+
+// DriftStatus summarizes the watch loop's state for status queries.
+type DriftStatus struct {
+	// Windows is how many observation windows have been consumed.
+	Windows int
+	// Triggers is how many drift-triggered re-solves have run.
+	Triggers int
+	// LastTrigger is the most recent event's window index (-1 if none).
+	LastTrigger int
+}
+
+// Drift reports the session's watch-loop state.
+func (f *Fleet) Drift() DriftStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := DriftStatus{Triggers: len(f.events), LastTrigger: -1}
+	if f.ar != nil {
+		st.Windows = f.ar.Window()
+	}
+	if n := len(f.events); n > 0 {
+		st.LastTrigger = f.events[n-1].Window
+	}
+	return st
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is a minimal Prometheus text-format registry: per-fleet counters
+// for the control plane's hot numbers plus a latency histogram for the
+// triggered re-solves. Hand-rolled on purpose — the repo takes no
+// dependencies, and the scrape format is a stable plain-text contract.
+type metrics struct {
+	mu sync.Mutex
+	// perFleet maps fleet ID -> counter set.
+	perFleet map[string]*fleetMetrics
+	fleets   int
+}
+
+// resolveBuckets are the histogram upper bounds (seconds) for re-solve
+// latency; chosen to straddle the observed range from sub-100ms synthetic
+// fleets to multi-second 197-server warm re-solves.
+var resolveBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// fleetMetrics is one fleet's counter set.
+type fleetMetrics struct {
+	windows      int64
+	ingestErrors int64
+	triggers     int64
+	fevals       int64
+	migrations   int64
+	// histogram state for kairos_resolve_duration_seconds.
+	bucketCounts []int64
+	resolveSum   float64
+	resolveCount int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{perFleet: map[string]*fleetMetrics{}}
+}
+
+// fleet returns (creating if needed) the counter set for id. Callers hold
+// m.mu.
+func (m *metrics) fleet(id string) *fleetMetrics {
+	fm := m.perFleet[id]
+	if fm == nil {
+		fm = &fleetMetrics{bucketCounts: make([]int64, len(resolveBuckets))}
+		m.perFleet[id] = fm
+	}
+	return fm
+}
+
+// setFleets records the current registry size (a gauge).
+func (m *metrics) setFleets(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleets = n
+}
+
+// observeWindow counts one ingested window (or one rejected one).
+func (m *metrics) observeWindow(id string, err bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm := m.fleet(id)
+	if err {
+		fm.ingestErrors++
+		return
+	}
+	fm.windows++
+}
+
+// observeTrigger counts one drift-triggered re-solve and its cost.
+func (m *metrics) observeTrigger(id string, fevals, migrations int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm := m.fleet(id)
+	fm.triggers++
+	fm.fevals += int64(fevals)
+	fm.migrations += int64(migrations)
+	sec := elapsed.Seconds()
+	fm.resolveSum += sec
+	fm.resolveCount++
+	for i, le := range resolveBuckets {
+		if sec <= le {
+			fm.bucketCounts[i]++
+		}
+	}
+}
+
+// write renders the registry in Prometheus text exposition format, fleets
+// in sorted order so scrapes are deterministic.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP kairos_fleets Registered fleets.\n# TYPE kairos_fleets gauge\nkairos_fleets %d\n", m.fleets)
+	ids := make([]string, 0, len(m.perFleet))
+	for id := range m.perFleet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	counter := func(name, help string, get func(*fleetMetrics) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, id := range ids {
+			fmt.Fprintf(w, "%s{fleet=%q} %d\n", name, id, get(m.perFleet[id]))
+		}
+	}
+	counter("kairos_windows_ingested_total", "Observation windows ingested.",
+		func(fm *fleetMetrics) int64 { return fm.windows })
+	counter("kairos_ingest_errors_total", "Observation windows rejected.",
+		func(fm *fleetMetrics) int64 { return fm.ingestErrors })
+	counter("kairos_triggers_total", "Drift-triggered re-solves.",
+		func(fm *fleetMetrics) int64 { return fm.triggers })
+	counter("kairos_resolve_fevals_total", "Objective evaluations spent in triggered re-solves.",
+		func(fm *fleetMetrics) int64 { return fm.fevals })
+	counter("kairos_migrations_total", "Units migrated by triggered re-solves.",
+		func(fm *fleetMetrics) int64 { return fm.migrations })
+
+	const hist = "kairos_resolve_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Triggered re-solve latency.\n# TYPE %s histogram\n", hist, hist)
+	for _, id := range ids {
+		fm := m.perFleet[id]
+		for i, le := range resolveBuckets {
+			fmt.Fprintf(w, "%s_bucket{fleet=%q,le=%q} %d\n", hist, id, trimFloat(le), fm.bucketCounts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{fleet=%q,le=\"+Inf\"} %d\n", hist, id, fm.resolveCount)
+		fmt.Fprintf(w, "%s_sum{fleet=%q} %g\n", hist, id, fm.resolveSum)
+		fmt.Fprintf(w, "%s_count{fleet=%q} %d\n", hist, id, fm.resolveCount)
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus conventionally does
+// (no trailing zeros).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

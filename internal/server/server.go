@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"kairos"
+)
+
+// Server is the control plane state: the fleet registry, one reconcile
+// loop per registered fleet, and the metrics registry. Create it with
+// New, mount Handler on an http.Server, and Close it on shutdown — Close
+// cancels every reconcile loop and waits for them to drain.
+type Server struct {
+	mu     sync.Mutex
+	fleets map[string]*session
+	closed bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	met  *metrics
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
+}
+
+// session is one registered fleet: the library session handle plus the
+// channel its reconcile loop serializes ingestion through.
+type session struct {
+	id        string
+	fleet     *kairos.Fleet
+	workloads []kairos.Workload
+	machines  []kairos.Machine
+	needDisk  bool
+	ingest    chan ingestReq
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// ingestReq carries one observation window into the reconcile loop and
+// the channel the loop acknowledges it on.
+type ingestReq struct {
+	window []kairos.Workload
+	reply  chan ingestResp
+}
+
+// ingestResp is the reconcile loop's acknowledgement of one window.
+type ingestResp struct {
+	window    int
+	triggered bool
+	event     *kairos.ReconsolidationEvent
+	err       error
+}
+
+// New creates a control plane. logf receives one line per lifecycle event
+// (register, trigger, deregister); nil discards them.
+func New(logf func(format string, args ...any)) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		fleets: map[string]*session{},
+		ctx:    ctx,
+		cancel: cancel,
+		met:    newMetrics(),
+		logf:   logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleets", s.handleRegister)
+	mux.HandleFunc("GET /v1/fleets", s.handleList)
+	mux.HandleFunc("GET /v1/fleets/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/fleets/{id}/windows", s.handleWindow)
+	mux.HandleFunc("GET /v1/fleets/{id}/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/fleets/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler serving the /v1/ API and /metrics.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops every reconcile loop and waits for them to exit. The server
+// rejects new work afterwards; in-flight ingest requests are answered
+// with a shutdown error.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes an ErrorResponse.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// lookup finds a registered session, or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.fleets[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown fleet %q", id)
+		return nil
+	}
+	return sess
+}
+
+// handleRegister is POST /v1/fleets: validate the spec, run the initial
+// consolidation synchronously (the response carries the plan summary),
+// commit the session to the registry, and start its reconcile loop.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding register request: %v", err)
+		return
+	}
+	if req.ID == "" || strings.ContainsAny(req.ID, "/ ") {
+		writeErr(w, http.StatusBadRequest, "fleet id must be non-empty without '/' or spaces, got %q", req.ID)
+		return
+	}
+	s.mu.Lock()
+	_, exists := s.fleets[req.ID]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if exists {
+		writeErr(w, http.StatusConflict, "fleet %q already registered", req.ID)
+		return
+	}
+	dp, err := toDiskProfile(req.DiskProfile)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "disk_profile: %v", err)
+		return
+	}
+	machines, err := toMachines(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workloads, err := toWorkloads(req.Workloads, dp != nil)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := uniqueNames(workloads); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fleet, err := kairos.NewFleet(
+		kairos.FleetSpec{Name: req.ID, Workloads: workloads, Machines: machines, Disk: dp},
+		toFleetOptions(req.Options)...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid fleet spec: %v", err)
+		return
+	}
+	// The initial solve runs in the request: registration returns the plan
+	// it will serve, and a spec the solver rejects never enters the
+	// registry.
+	plan, err := fleet.Consolidate()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "initial consolidation failed: %v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.ctx)
+	sess := &session{
+		id:        req.ID,
+		fleet:     fleet,
+		workloads: workloads,
+		machines:  machines,
+		needDisk:  dp != nil,
+		ingest:    make(chan ingestReq),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if _, raced := s.fleets[req.ID]; raced {
+		s.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusConflict, "fleet %q already registered", req.ID)
+		return
+	}
+	s.fleets[req.ID] = sess
+	n := len(s.fleets)
+	s.mu.Unlock()
+	s.met.setFleets(n)
+
+	s.wg.Add(1)
+	go s.reconcile(ctx, sess)
+	s.logf("fleet %q registered: %d workloads -> K=%d (feasible=%v)",
+		req.ID, len(workloads), plan.K, plan.Feasible)
+	writeJSON(w, http.StatusCreated, s.status(sess))
+}
+
+// uniqueNames enforces the name-matching contract windows rely on.
+func uniqueNames(wls []kairos.Workload) error {
+	seen := make(map[string]bool, len(wls))
+	for _, w := range wls {
+		if seen[w.Name] {
+			return fmt.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	return nil
+}
+
+// reconcile is a fleet's control loop: it owns all Observe calls for the
+// session, so windows from any number of collectors apply in a single
+// serial order, and re-solves never overlap. It exits when the session is
+// deregistered or the server shuts down.
+func (s *Server) reconcile(ctx context.Context, sess *session) {
+	defer s.wg.Done()
+	defer close(sess.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case req := <-sess.ingest:
+			ev, err := sess.fleet.Observe(req.window)
+			resp := ingestResp{err: err}
+			if err != nil {
+				s.met.observeWindow(sess.id, true)
+			} else {
+				s.met.observeWindow(sess.id, false)
+				resp.window = sess.fleet.Window() - 1
+				if ev != nil {
+					resp.triggered = true
+					resp.event = ev
+					s.met.observeTrigger(sess.id, ev.Plan.Fevals, ev.Plan.Migrated, ev.Plan.Elapsed)
+					s.logf("fleet %q: %v", sess.id, ev)
+				}
+			}
+			req.reply <- resp
+		}
+	}
+}
+
+// handleWindow is POST /v1/fleets/{id}/windows: decode the window, hand
+// it to the fleet's reconcile loop, and acknowledge once it has been
+// applied (including whether it triggered a re-solve).
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	var req WindowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding window: %v", err)
+		return
+	}
+	window, err := toWorkloads(req.Workloads, sess.needDisk)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ir := ingestReq{window: window, reply: make(chan ingestResp, 1)}
+	select {
+	case sess.ingest <- ir:
+	case <-sess.done:
+		writeErr(w, http.StatusGone, "fleet %q deregistered", sess.id)
+		return
+	case <-r.Context().Done():
+		return
+	}
+	select {
+	case resp := <-ir.reply:
+		if resp.err != nil {
+			// The window was structurally valid JSON but the watch loop
+			// rejected it (unknown workload, series shape mismatch, ...).
+			writeErr(w, http.StatusUnprocessableEntity, "%v", resp.err)
+			return
+		}
+		out := WindowResponse{Window: resp.window, Triggered: resp.triggered}
+		if resp.event != nil {
+			out.Event = eventWire(resp.event)
+		}
+		writeJSON(w, http.StatusOK, out)
+	case <-sess.done:
+		writeErr(w, http.StatusGone, "fleet %q deregistered during ingest", sess.id)
+	}
+}
+
+// status snapshots a session for the wire.
+func (s *Server) status(sess *session) FleetStatus {
+	st := FleetStatus{
+		ID:        sess.id,
+		Workloads: len(sess.workloads),
+		Machines:  len(sess.machines),
+	}
+	if p := sess.fleet.Plan(); p != nil {
+		st.K, st.Feasible = p.K, p.Feasible
+	}
+	d := sess.fleet.Drift()
+	st.Windows, st.Triggers, st.LastTrigger = d.Windows, d.Triggers, d.LastTrigger
+	return st
+}
+
+// handleList is GET /v1/fleets.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.fleets))
+	for _, sess := range s.fleets {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	out := make([]FleetStatus, len(sessions))
+	for i, sess := range sessions {
+		out[i] = s.status(sess)
+	}
+	// Deterministic listing order for clients and tests.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus is GET /v1/fleets/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sess := s.lookup(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, s.status(sess))
+	}
+}
+
+// handlePlan is GET /v1/fleets/{id}/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	p := sess.fleet.Plan()
+	if p == nil {
+		writeErr(w, http.StatusNotFound, "fleet %q has no plan yet", sess.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, planWire(p, sess.workloads, sess.machines))
+}
+
+// handleEvents is GET /v1/fleets/{id}/events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	events := sess.fleet.Events()
+	out := make([]*EventWire, len(events))
+	for i, ev := range events {
+		out[i] = eventWire(ev)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDelete is DELETE /v1/fleets/{id}: remove the fleet and stop its
+// reconcile loop.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.fleets[id]
+	if sess != nil {
+		delete(s.fleets, id)
+	}
+	n := len(s.fleets)
+	s.mu.Unlock()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "unknown fleet %q", id)
+		return
+	}
+	s.met.setFleets(n)
+	sess.cancel()
+	<-sess.done
+	s.logf("fleet %q deregistered", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w)
+}

@@ -1,0 +1,403 @@
+// Package server is the Kairos control plane: a long-running HTTP service
+// (stdlib net/http, versioned /v1/ JSON API) that registers fleets, ingests
+// observation windows from concurrent collectors, runs one reconcile loop
+// per fleet around a kairos.Fleet session handle — drift-triggered warm
+// re-solves, exactly the library's Observe semantics — and serves plan,
+// drift-status and event queries plus Prometheus-text metrics. It is what
+// `kairos serve` runs.
+//
+// API summary (all bodies JSON):
+//
+//	POST   /v1/fleets               register a fleet (workloads+machines+options)
+//	GET    /v1/fleets               list registered fleets
+//	GET    /v1/fleets/{id}          one fleet's status (plan K, drift, windows)
+//	DELETE /v1/fleets/{id}          deregister and stop the reconcile loop
+//	POST   /v1/fleets/{id}/windows  ingest one observation window
+//	GET    /v1/fleets/{id}/plan     the current plan (assignments, loads)
+//	GET    /v1/fleets/{id}/events   the re-consolidation event log
+//	GET    /metrics                 Prometheus text-format metrics
+//	GET    /healthz                 liveness probe
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"kairos"
+	"kairos/internal/model"
+	"kairos/internal/series"
+)
+
+// WorkloadWire is one workload's resource profile on the wire. Series are
+// plain sample arrays sharing the workload's start/step; all arrays of one
+// workload must have equal length.
+type WorkloadWire struct {
+	Name string `json:"name"`
+	// StartUnix is the Unix-seconds timestamp of the first sample
+	// (optional; series alignment is positional, not by wall clock).
+	StartUnix int64 `json:"start_unix,omitempty"`
+	// StepSeconds is the sampling interval. Defaults to 300 (the paper's
+	// 5-minute windows) when omitted.
+	StepSeconds float64 `json:"step_seconds,omitempty"`
+	// CPU is utilization as a fraction of the target machine; required.
+	CPU []float64 `json:"cpu"`
+	// RAMBytes is the working-set memory requirement; required.
+	RAMBytes []float64 `json:"ram_bytes"`
+	// WSBytes is the working set driving the disk model (defaults to
+	// RAMBytes when a disk profile is present and it is omitted).
+	WSBytes []float64 `json:"ws_bytes,omitempty"`
+	// UpdateRate is the row-modification rate (rows/sec).
+	UpdateRate []float64 `json:"update_rate,omitempty"`
+	// DiskWriteBps is the measured standalone disk write rate.
+	DiskWriteBps []float64 `json:"disk_write_bps,omitempty"`
+	// Replicas places this many copies on distinct machines (0 = 1).
+	Replicas int `json:"replicas,omitempty"`
+	// PinTo pins the first replica to a machine index (omitted = free).
+	PinTo *int `json:"pin_to,omitempty"`
+}
+
+// MachineWire is one consolidation target on the wire.
+type MachineWire struct {
+	Name         string  `json:"name,omitempty"`
+	CPUCapacity  float64 `json:"cpu_capacity"`
+	RAMBytes     float64 `json:"ram_bytes"`
+	DiskWriteBps float64 `json:"disk_write_bps,omitempty"`
+	Headroom     float64 `json:"headroom,omitempty"`
+}
+
+// AutoMachines is shorthand for a homogeneous target fleet: Count copies
+// of the paper's standard 12-core/96GB machine.
+type AutoMachines struct {
+	Count int `json:"count"`
+	// DiskWriteBps is the per-machine disk write budget (default 50 MB/s).
+	DiskWriteBps float64 `json:"disk_write_bps,omitempty"`
+	// Headroom is the per-machine safety margin (default 0.05).
+	Headroom float64 `json:"headroom,omitempty"`
+}
+
+// OptionsWire are the registration-time knobs: a flat projection of the
+// library's functional options.
+type OptionsWire struct {
+	// FullSolve enables the global DIRECT run for the initial solve. The
+	// server default is the local-search path (SkipDirect), which is what
+	// fleet-scale streams use.
+	FullSolve bool `json:"full_solve,omitempty"`
+	// Workers is the solver's evaluation parallelism (0 = sequential).
+	Workers int `json:"workers,omitempty"`
+	// Shards >0 solves the initial plan with the sharded fleet engine.
+	Shards int `json:"shards,omitempty"`
+	// DriftThreshold is the relative drift that triggers a re-solve
+	// (default 0.04).
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// Rearm is the hysteresis re-arm level (0 = half the threshold).
+	Rearm float64 `json:"rearm,omitempty"`
+	// Cooldown is the number of windows suppressed after a trigger
+	// (default 1).
+	Cooldown *int `json:"cooldown,omitempty"`
+	// History is the number of windows averaged into the rolling forecast
+	// (default 2).
+	History int `json:"history,omitempty"`
+	// MinWorkloads is the drifted-workload quorum for a trigger.
+	MinWorkloads int `json:"min_workloads,omitempty"`
+	// MigrationWeight prices warm-re-solve migrations (default 0.05).
+	MigrationWeight *float64 `json:"migration_weight,omitempty"`
+	// MaxMigrations caps units migrated per re-solve (0 = unlimited).
+	MaxMigrations int `json:"max_migrations,omitempty"`
+}
+
+// RegisterRequest is the POST /v1/fleets body.
+type RegisterRequest struct {
+	// ID names the fleet; path segments address it, so it must be
+	// non-empty and contain no '/'.
+	ID        string         `json:"id"`
+	Workloads []WorkloadWire `json:"workloads"`
+	// Machines lists explicit targets; AutoMachines is the homogeneous
+	// shorthand. Exactly one must be provided.
+	Machines     []MachineWire   `json:"machines,omitempty"`
+	AutoMachines *AutoMachines   `json:"auto_machines,omitempty"`
+	DiskProfile  json.RawMessage `json:"disk_profile,omitempty"`
+	Options      OptionsWire     `json:"options,omitempty"`
+}
+
+// WindowRequest is the POST /v1/fleets/{id}/windows body: one observation
+// window, matched to the registered workloads by name.
+type WindowRequest struct {
+	Workloads []WorkloadWire `json:"workloads"`
+}
+
+// WindowResponse acknowledges an ingested window after the reconcile loop
+// has processed it.
+type WindowResponse struct {
+	// Window is the 0-based index the window was consumed as.
+	Window int `json:"window"`
+	// Triggered reports whether this window fired a re-solve.
+	Triggered bool `json:"triggered"`
+	// Event is the re-consolidation event when Triggered (summary form).
+	Event *EventWire `json:"event,omitempty"`
+}
+
+// FleetStatus is the GET /v1/fleets/{id} response (and the list entry).
+type FleetStatus struct {
+	ID        string `json:"id"`
+	Workloads int    `json:"workloads"`
+	Machines  int    `json:"machines"`
+	// K and Feasible describe the current plan.
+	K        int  `json:"k"`
+	Feasible bool `json:"feasible"`
+	// Windows, Triggers and LastTrigger summarize the watch loop.
+	Windows     int `json:"windows"`
+	Triggers    int `json:"triggers"`
+	LastTrigger int `json:"last_trigger"`
+}
+
+// PlanWire is the GET /v1/fleets/{id}/plan response.
+type PlanWire struct {
+	K         int     `json:"k"`
+	Feasible  bool    `json:"feasible"`
+	Objective float64 `json:"objective"`
+	// Assignments maps each placement unit to its machine.
+	Assignments []AssignmentWire `json:"assignments"`
+	// Migrated/MigrationCost report the churn of warm re-solves.
+	Migrated      int     `json:"migrated,omitempty"`
+	MigrationCost float64 `json:"migration_cost,omitempty"`
+	Fevals        int     `json:"fevals"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+}
+
+// AssignmentWire is one unit's placement.
+type AssignmentWire struct {
+	Unit     string `json:"unit"`
+	Workload string `json:"workload"`
+	Replica  int    `json:"replica,omitempty"`
+	Machine  int    `json:"machine"`
+	// MachineName is the target machine's name when it has one.
+	MachineName string `json:"machine_name,omitempty"`
+}
+
+// EventWire is one re-consolidation event in the GET events response.
+type EventWire struct {
+	Window int `json:"window"`
+	// Trigger is the drift evidence rendered as the detector reports it.
+	Trigger string `json:"trigger"`
+	// MaxDrift is the largest cause's relative drift.
+	MaxDrift float64 `json:"max_drift"`
+	// DriftedWorkloads counts distinct workloads past the threshold.
+	DriftedWorkloads int `json:"drifted_workloads"`
+	K                int `json:"k"`
+	Migrated         int `json:"migrated"`
+	// Objective/StaleObjective/ObjectiveDelta price the new plan vs
+	// keeping the old one on the forecast series.
+	StaleObjective float64 `json:"stale_objective"`
+	Objective      float64 `json:"objective"`
+	ObjectiveDelta float64 `json:"objective_delta"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toWorkloads converts wire workloads into consolidation workloads.
+// needDisk forces WSBytes (defaulted from RAMBytes) and UpdateRate so the
+// result is usable with a disk profile.
+func toWorkloads(ws []WorkloadWire, needDisk bool) ([]kairos.Workload, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("no workloads")
+	}
+	out := make([]kairos.Workload, len(ws))
+	for i, w := range ws {
+		if w.Name == "" {
+			return nil, fmt.Errorf("workload %d has no name", i)
+		}
+		step := w.StepSeconds
+		if step == 0 {
+			step = 300
+		}
+		if step <= 0 {
+			return nil, fmt.Errorf("workload %q: step_seconds %v must be positive", w.Name, w.StepSeconds)
+		}
+		if len(w.CPU) == 0 || len(w.RAMBytes) == 0 {
+			return nil, fmt.Errorf("workload %q: cpu and ram_bytes series are required", w.Name)
+		}
+		start := time.Unix(w.StartUnix, 0).UTC()
+		dt := time.Duration(step * float64(time.Second))
+		mk := func(vals []float64) *series.Series {
+			if len(vals) == 0 {
+				return nil
+			}
+			return series.New(start, dt, append([]float64(nil), vals...))
+		}
+		wl := kairos.Workload{
+			Name:         w.Name,
+			CPU:          mk(w.CPU),
+			RAMBytes:     mk(w.RAMBytes),
+			WSBytes:      mk(w.WSBytes),
+			UpdateRate:   mk(w.UpdateRate),
+			DiskWriteBps: mk(w.DiskWriteBps),
+			Replicas:     w.Replicas,
+			PinTo:        -1,
+		}
+		if w.PinTo != nil {
+			wl.PinTo = *w.PinTo
+		}
+		if needDisk {
+			if wl.WSBytes == nil {
+				wl.WSBytes = wl.RAMBytes.Clone()
+			}
+			if wl.UpdateRate == nil {
+				return nil, fmt.Errorf("workload %q: update_rate is required when the fleet has a disk profile", w.Name)
+			}
+		}
+		out[i] = wl
+	}
+	return out, nil
+}
+
+// toMachines resolves the explicit machine list or the AutoMachines
+// shorthand into consolidation targets.
+func toMachines(req *RegisterRequest) ([]kairos.Machine, error) {
+	switch {
+	case len(req.Machines) > 0 && req.AutoMachines != nil:
+		return nil, fmt.Errorf("machines and auto_machines are mutually exclusive")
+	case len(req.Machines) > 0:
+		out := make([]kairos.Machine, len(req.Machines))
+		for i, m := range req.Machines {
+			name := m.Name
+			if name == "" {
+				name = fmt.Sprintf("machine-%02d", i)
+			}
+			out[i] = kairos.Machine{
+				Name:         name,
+				CPUCapacity:  m.CPUCapacity,
+				RAMBytes:     m.RAMBytes,
+				DiskWriteBps: m.DiskWriteBps,
+				Headroom:     m.Headroom,
+			}
+		}
+		return out, nil
+	case req.AutoMachines != nil:
+		am := req.AutoMachines
+		if am.Count <= 0 {
+			return nil, fmt.Errorf("auto_machines.count must be positive")
+		}
+		disk := am.DiskWriteBps
+		if disk == 0 {
+			disk = 50e6
+		}
+		headroom := am.Headroom
+		if headroom == 0 {
+			headroom = 0.05
+		}
+		out := make([]kairos.Machine, am.Count)
+		for i := range out {
+			out[i] = kairos.Machine{
+				Name:         fmt.Sprintf("target-%02d", i),
+				CPUCapacity:  1.0,
+				RAMBytes:     96e9,
+				DiskWriteBps: disk,
+				Headroom:     headroom,
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("either machines or auto_machines is required")
+	}
+}
+
+// toFleetOptions maps the wire options onto the library's functional
+// options.
+func toFleetOptions(o OptionsWire) []kairos.FleetOption {
+	solve := kairos.DefaultOptions()
+	solve.SkipDirect = !o.FullSolve
+	solve.Workers = o.Workers
+	resolve := kairos.DefaultResolveOptions()
+	resolve.SkipDirect = true
+	resolve.Workers = o.Workers
+	if o.MigrationWeight != nil {
+		resolve.MigrationWeight = *o.MigrationWeight
+	}
+	resolve.MaxMigrations = o.MaxMigrations
+	driftCfg := kairos.DriftConfig{
+		Threshold:    0.04,
+		Rearm:        o.Rearm,
+		Cooldown:     1,
+		History:      o.History,
+		MinWorkloads: o.MinWorkloads,
+	}
+	if o.DriftThreshold > 0 {
+		driftCfg.Threshold = o.DriftThreshold
+	}
+	if o.Cooldown != nil {
+		driftCfg.Cooldown = *o.Cooldown
+	}
+	opts := []kairos.FleetOption{
+		kairos.WithSolveOptions(solve),
+		kairos.WithResolveOptions(resolve),
+		kairos.WithDrift(driftCfg),
+	}
+	if o.Shards > 0 {
+		opts = append(opts, kairos.WithShards(o.Shards))
+	}
+	return opts
+}
+
+// toDiskProfile parses the raw registration disk-profile JSON (the format
+// `kairos profile-disk` writes), or returns nil when absent.
+func toDiskProfile(raw json.RawMessage) (*model.DiskProfile, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	dp, err := model.LoadProfile(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return dp, nil
+}
+
+// planWire renders a plan for the wire. workloads and machines are the
+// registered spec, used to name assignments.
+func planWire(p *kairos.Plan, workloads []kairos.Workload, machines []kairos.Machine) *PlanWire {
+	out := &PlanWire{
+		K:             p.K,
+		Feasible:      p.Feasible,
+		Objective:     p.Objective,
+		Migrated:      p.Migrated,
+		MigrationCost: p.MigrationCost,
+		Fevals:        p.Fevals,
+		ElapsedMs:     float64(p.Elapsed.Microseconds()) / 1e3,
+		Assignments:   make([]AssignmentWire, len(p.Assign)),
+	}
+	for i, j := range p.Assign {
+		a := AssignmentWire{Unit: p.Names[i], Machine: j}
+		ref := p.Units[i]
+		a.Replica = ref.Replica
+		if ref.Workload >= 0 && ref.Workload < len(workloads) {
+			a.Workload = workloads[ref.Workload].Name
+		}
+		if j >= 0 && j < len(machines) {
+			a.MachineName = machines[j].Name
+		}
+		out.Assignments[i] = a
+	}
+	return out
+}
+
+// eventWire renders a re-consolidation event for the wire.
+func eventWire(ev *kairos.ReconsolidationEvent) *EventWire {
+	out := &EventWire{
+		Window:         ev.Window,
+		K:              ev.Plan.K,
+		Migrated:       ev.Plan.Migrated,
+		StaleObjective: ev.StaleObjective,
+		Objective:      ev.Plan.Objective,
+		ObjectiveDelta: ev.ObjectiveDelta,
+	}
+	if ev.Trigger != nil {
+		out.Trigger = ev.Trigger.String()
+		out.MaxDrift = ev.Trigger.MaxDrift
+		out.DriftedWorkloads = ev.Trigger.Workloads
+	}
+	return out
+}

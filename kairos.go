@@ -21,22 +21,39 @@
 //     search, that minimizes the machine count and balances load without
 //     over-committing any resource at any time step.
 //
-// The pipeline also closes into a loop: Reconsolidate warm-starts a
-// re-solve from a saved incumbent plan when the fleet drifts, and the
-// watch facade (watch.go: NewAutoReconsolidator, Watch) triggers those
-// re-solves from monitored drift — utilization deltas or forecast error
-// against the plan's assumptions (internal/drift) — feeding the rolling
-// forecast in as the re-solve's workload series.
-//
-// Everything runs against a built-in DBMS/disk simulator (internal/dbms,
-// internal/disk), so the whole system — including the paper's experiments —
-// works on a laptop with no external dependencies.
+// The primary API is the Fleet session handle (fleet.go): NewFleet opens
+// a session around a FleetSpec (workloads, machines, disk profile) plus
+// functional options for solver budgets, drift thresholds and sharding;
+// Consolidate computes the plan; Observe streams monitored observation
+// windows through the drift detector (internal/drift) and re-solves warm
+// from the incumbent exactly when the fleet's behaviour departs from the
+// plan's assumptions; Plan and Events expose the current state. The handle
+// is safe for concurrent use, so many collectors can feed one session.
 //
 // Quick start:
 //
 //	profile, _ := kairos.ProfileHardware(kairos.QuickProfiler())
-//	plan, _ := kairos.Consolidate(workloads, machines, profile, kairos.DefaultOptions())
-//	fmt.Println(plan)
+//	f, _ := kairos.NewFleet(kairos.FleetSpec{
+//		Workloads: workloads, Machines: machines, Disk: profile,
+//	})
+//	plan, _ := f.Consolidate() // the initial placement
+//	for window := range collector {
+//		if ev, _ := f.Observe(window); ev != nil {
+//			fmt.Println("re-consolidated:", ev) // drift-triggered re-solve
+//		}
+//	}
+//
+// The same handle powers the deployable control plane: `kairos serve`
+// (internal/server) exposes register/ingest/query over a versioned HTTP
+// API with one reconcile loop per registered fleet, plus Prometheus
+// metrics.
+//
+// The older free functions — Consolidate, ConsolidateFleet, Reconsolidate,
+// Watch — remain as deprecated thin wrappers over the Fleet handle.
+//
+// Everything runs against a built-in DBMS/disk simulator (internal/dbms,
+// internal/disk), so the whole system — including the paper's experiments —
+// works on a laptop with no external dependencies.
 package kairos
 
 import (
@@ -158,13 +175,17 @@ func (p *Plan) Incumbent() *Incumbent {
 // replicas) to machines so the machine count is minimal and load balanced,
 // with CPU, RAM and modelled disk I/O all staying within capacity at every
 // time step. Pass a nil profile to skip the disk constraint.
+//
+// Deprecated: use NewFleet(FleetSpec{...}, WithSolveOptions(opt)) followed
+// by (*Fleet).Consolidate — the session handle keeps the incumbent for
+// later Observe/re-solve calls instead of discarding it.
 func Consolidate(workloads []Workload, machines []Machine, dp *DiskProfile, opt SolveOptions) (*Plan, error) {
-	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
-	sol, err := core.Solve(p, opt)
+	f, err := NewFleet(FleetSpec{Workloads: workloads, Machines: machines, Disk: dp},
+		WithSolveOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(p, sol)
+	return f.Consolidate()
 }
 
 // ConsolidateFleet solves fleet-scale placement with the sharded engine:
@@ -173,13 +194,16 @@ func Consolidate(workloads []Workload, machines []Machine, dp *DiskProfile, opt 
 // cross-shard rebalancing and machine-reduction pass. Use it when the
 // instance is too large for Consolidate's single global solve; for a few
 // dozen workloads Consolidate usually finds slightly tighter plans.
+//
+// Deprecated: use NewFleet(FleetSpec{...}, WithSharding(opt)) followed by
+// (*Fleet).Consolidate.
 func ConsolidateFleet(workloads []Workload, machines []Machine, dp *DiskProfile, opt ShardOptions) (*Plan, error) {
-	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
-	sol, err := core.SolveSharded(p, opt)
+	f, err := NewFleet(FleetSpec{Workloads: workloads, Machines: machines, Disk: dp},
+		WithSharding(opt))
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(p, sol)
+	return f.Consolidate()
 }
 
 // newPlan decorates a solution with per-machine loads and display names.
@@ -212,13 +236,17 @@ func newPlan(p *Problem, sol *Solution) (*Plan, error) {
 // drift this matches or beats a cold Consolidate at a fraction of the
 // evaluations while migrating only a small fraction of the fleet. The
 // returned plan's Migrated and MigrationCost fields report the churn.
+//
+// Deprecated: use NewFleet(FleetSpec{...}, WithIncumbent(inc),
+// WithResolveOptions(opt)) followed by (*Fleet).Consolidate — a session
+// seeded with an incumbent re-solves warm automatically.
 func Reconsolidate(workloads []Workload, machines []Machine, dp *DiskProfile, inc *Incumbent, opt SolveOptions) (*Plan, error) {
-	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
-	sol, err := core.Resolve(p, inc, opt)
+	f, err := NewFleet(FleetSpec{Workloads: workloads, Machines: machines, Disk: dp},
+		WithIncumbent(inc), WithResolveOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(p, sol)
+	return f.Consolidate()
 }
 
 // String renders the plan as a human-readable placement table.

@@ -3,6 +3,7 @@ package kairos
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"kairos/internal/core"
 	"kairos/internal/drift"
@@ -84,8 +85,14 @@ func (e *ReconsolidationEvent) String() string {
 // AutoReconsolidator is the stateful event-driven re-consolidation loop:
 // feed it one observation window at a time with Observe, and it re-solves
 // — warm-started from the incumbent it maintains — exactly when the drift
-// detector fires. It is not safe for concurrent use.
+// detector fires. It is safe for concurrent use: windows arriving from
+// multiple collectors serialize on an internal mutex, so each Observe sees
+// a consistent (incumbent, detector, history) triple and re-solves never
+// overlap.
 type AutoReconsolidator struct {
+	// mu guards every field below: the detector and forecast history
+	// mutate on every Observe, and the incumbent advances on triggers.
+	mu       sync.Mutex
 	machines []Machine
 	dp       *DiskProfile
 	opt      WatchOptions
@@ -134,10 +141,18 @@ func NewAutoReconsolidator(inc *Incumbent, baseline []Workload, machines []Machi
 
 // Incumbent returns the plan the next trigger will warm-start from — the
 // original one until a trigger fires, then each re-solve's result.
-func (ar *AutoReconsolidator) Incumbent() *Incumbent { return ar.inc }
+func (ar *AutoReconsolidator) Incumbent() *Incumbent {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.inc
+}
 
 // Window returns how many observation windows have been consumed.
-func (ar *AutoReconsolidator) Window() int { return ar.det.Window() }
+func (ar *AutoReconsolidator) Window() int {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	return ar.det.Window()
+}
 
 // Observe consumes one observation window (the fleet's measured workload
 // series for the period). It returns (nil, nil) while the plan holds; when
@@ -149,6 +164,8 @@ func (ar *AutoReconsolidator) Observe(observed []Workload) (*ReconsolidationEven
 	if err != nil {
 		return nil, err
 	}
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
 	trig, err := ar.det.Observe(samples)
 	if err != nil {
 		// The window was rejected (shape mismatch, unknown workload):
@@ -217,22 +234,31 @@ func (ar *AutoReconsolidator) resolve(trig *DriftTrigger) (*ReconsolidationEvent
 // windows and collects the re-consolidation events that fired. It returns
 // the events and the final incumbent plan (the last re-solve's, or the
 // original when nothing fired).
+//
+// Deprecated: use NewFleet(FleetSpec{...}, WithIncumbent(inc),
+// WithDrift(opt.Drift), WithResolveOptions(opt.Resolve)) and stream the
+// windows through (*Fleet).Observe — the session keeps the event log and
+// serves the current plan while the stream is live.
 func Watch(inc *Incumbent, baseline []Workload, windows [][]Workload, machines []Machine, dp *DiskProfile, opt WatchOptions) ([]*ReconsolidationEvent, *Incumbent, error) {
-	ar, err := NewAutoReconsolidator(inc, baseline, machines, dp, opt)
+	f, err := NewFleet(FleetSpec{Workloads: baseline, Machines: machines, Disk: dp},
+		WithIncumbent(inc), WithDrift(opt.Drift), WithResolveOptions(opt.Resolve))
 	if err != nil {
 		return nil, nil, err
 	}
-	var events []*ReconsolidationEvent
+	// Build the watch loop eagerly so invalid incumbents and baselines
+	// error before any window is consumed, as this function always has.
+	f.mu.Lock()
+	_, err = f.watchLoopLocked()
+	f.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, w := range windows {
-		ev, err := ar.Observe(w)
-		if err != nil {
-			return events, ar.Incumbent(), err
-		}
-		if ev != nil {
-			events = append(events, ev)
+		if _, err := f.Observe(w); err != nil {
+			return f.Events(), f.Incumbent(), err
 		}
 	}
-	return events, ar.Incumbent(), nil
+	return f.Events(), f.Incumbent(), nil
 }
 
 // driftSamples converts consolidation workloads into the detector's
