@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race race-server bench bench-hot bench-resolve bench-drift bench-json serve-smoke lint fmt ci
+.PHONY: build test test-full race race-full race-server bench bench-hot bench-resolve bench-drift bench-json serve-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ test-full:
 
 race:
 	$(GO) test -race -short ./...
+
+# Full suite under the race detector, including the slow model/vm tests.
+# CI runs this as its own job; locally it is the long-form race gate.
+race-full:
+	$(GO) test -race ./...
 
 # Control-plane tests under the race detector, full (not -short): includes
 # the 197-server HTTP e2e with concurrent collectors.
@@ -70,12 +75,20 @@ bench-resolve:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
+# Lint: vet, formatting, and the repo's own analyzer suite (kairoslint:
+# hotalloc, lockguard, floatdet, wirejson — see CONTRIBUTING.md). Runs
+# from the module root; kairoslint walks the same package graph as the
+# build via `go list`.
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" $$out; exit 1; fi
+	$(GO) run ./cmd/kairoslint ./...
 
 fmt:
 	gofmt -w .
 
+# Local CI mirror. The hosted workflow runs the same gates, with the
+# short race pass promoted to `race-full` in a dedicated job (and
+# govulncheck, which needs network access to fetch its vuln DB).
 ci: build lint test race race-server serve-smoke bench

@@ -2,6 +2,8 @@ package main
 
 import "testing"
 
+import "kairos/internal/floats"
+
 func TestParseBenchLine(t *testing.T) {
 	line := "BenchmarkCoarseScreenedSweep/screened-16         \t      10\t  15015811 ns/op\t      2098 fevals\t         6.061 sweep-speedup\t       0 B/op\t       0 allocs/op"
 	r, ok := parseBenchLine(line)
@@ -18,7 +20,7 @@ func TestParseBenchLine(t *testing.T) {
 		"ns/op": 15015811, "fevals": 2098, "sweep-speedup": 6.061, "B/op": 0, "allocs/op": 0,
 	}
 	for unit, v := range want {
-		if got := r.Metrics[unit]; got != v {
+		if got := r.Metrics[unit]; !floats.Same(got, v) {
 			t.Fatalf("metric %q = %v, want %v", unit, got, v)
 		}
 	}

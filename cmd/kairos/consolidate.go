@@ -40,7 +40,9 @@ func cmdConsolidate(args []string) error {
 			return ferr
 		}
 		f, err = fleet.ReadCSV(file, *traces)
-		file.Close()
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
 	} else {
 		f, err = pickFleet(*dataset)
 	}

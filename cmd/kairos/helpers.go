@@ -40,8 +40,14 @@ func loadProfile(path string) (*model.DiskProfile, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return model.LoadProfile(f)
+	dp, err := model.LoadProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dp, nil
 }
 
 // loadIncumbent reads a plan saved with -save-plan.
@@ -50,8 +56,14 @@ func loadIncumbent(path string) (*kairos.Incumbent, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.LoadIncumbent(f)
+	inc, err := core.LoadIncumbent(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return inc, nil
 }
 
 // saveIncumbent writes an incumbent plan for later -resolve runs.

@@ -31,8 +31,13 @@ func cmdProfileDisk(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := dp.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	// An unchecked Close on a written file can silently drop the profile:
+	// the kernel reports deferred write errors here.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d points, saturation envelope=%v)\n", *out, len(dp.Points), dp.HasEnvelope)

@@ -44,7 +44,9 @@ func cmdServe(args []string) error {
 
 	select {
 	case err := <-errc:
-		cp.Close()
+		if closeErr := cp.Close(); err == nil {
+			err = closeErr
+		}
 		return err
 	case <-ctx.Done():
 	}

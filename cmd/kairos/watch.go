@@ -63,8 +63,10 @@ func cmdWatch(args []string) error {
 		if err != nil {
 			return nil, 0, err
 		}
-		defer f.Close()
 		fl, err := fleet.ReadCSV(f, path)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, 0, err
 		}

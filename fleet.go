@@ -109,11 +109,11 @@ func WithIncumbent(inc *Incumbent) FleetOption {
 // internally.
 type Fleet struct {
 	mu     sync.Mutex
-	spec   FleetSpec
+	spec   FleetSpec // immutable after NewFleet
 	cfg    fleetConfig
-	plan   *Plan
-	ar     *AutoReconsolidator
-	events []*ReconsolidationEvent
+	plan   *Plan                   // guarded by mu
+	ar     *AutoReconsolidator     // guarded by mu
+	events []*ReconsolidationEvent // guarded by mu
 }
 
 // NewFleet opens a consolidation session for the fleet described by spec.

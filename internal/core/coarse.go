@@ -286,6 +286,8 @@ func polyAbsSlack2D(c *[6]float64, xLo, xHi, yLo, yHi float64) float64 {
 // evalSums' term order, then deflates (lower) or inflates (upper) by
 // coarseViolSlack so regrouping rounding can never flip the domination.
 // Zero allocations.
+//
+//kairos:hotpath
 func (ev *Evaluator) boundSums(j int, cpuPeak, ramPeak float64, wsB, rateB []float64, slaCap float64, upper bool) (viol, norm float64) {
 	co := ev.coarse
 	cpuCap := ev.capCPU[j]
@@ -404,6 +406,8 @@ func (ev *Evaluator) boundSums(j int, cpuPeak, ramPeak float64, wsB, rateB []flo
 // canonical sums — the property that keeps every bucket aggregate a
 // bit-level bound on the canonical aggregate at every step it covers.
 // Called from rematerialize, so the bounds stay in lockstep with the sums.
+//
+//kairos:hotpath
 func (ls *LoadState) rematBuckets(j int) {
 	co := ls.co
 	nb := co.nb
@@ -436,6 +440,8 @@ func (ls *LoadState) Screened() bool { return ls.co != nil }
 // boundAddSide computes one side of the coarse bound on machine j's
 // violation and normalized load as if unit u were appended, mirroring
 // fill's expression shape bucket-wise. Zero allocations.
+//
+//kairos:hotpath
 func (ls *LoadState) boundAddSide(u, j int, upper bool) (viol, norm float64) {
 	co, ev := ls.co, ls.ev
 	nb := co.nb
@@ -497,6 +503,8 @@ func (ls *LoadState) boundAddSide(u, j int, upper bool) (viol, norm float64) {
 
 // boundRemoveSide mirrors PriceRemove's subtractive fill: one side of the
 // coarse bound on unit u's machine as if u left it.
+//
+//kairos:hotpath
 func (ls *LoadState) boundRemoveSide(u int, upper bool) (viol, norm float64) {
 	co, ev := ls.co, ls.ev
 	from := ls.assign[u]
@@ -571,6 +579,8 @@ func (ls *LoadState) boundRemoveSide(u int, upper bool) (viol, norm float64) {
 // boundExchangeSide mirrors fillExchange's expression shape: one side of
 // the coarse bound on machine j's state after its member `out` leaves and
 // unit `in` arrives.
+//
+//kairos:hotpath
 func (ls *LoadState) boundExchangeSide(j, out, in int, upper bool) (viol, norm float64) {
 	co, ev := ls.co, ls.ev
 	nb := co.nb
@@ -647,6 +657,8 @@ func (ls *LoadState) boundExchangeSide(j, out, in int, upper bool) (viol, norm f
 // screen of the coarse-to-fine sweep, O(T/B) and zero allocations. When
 // screening is disabled it returns -Inf (never prunes). Bit-level sound:
 // ScreenAdd(u, j) ≤ PriceAdd(u, j) always.
+//
+//kairos:hotpath
 func (ls *LoadState) ScreenAdd(u, j int) float64 {
 	if ls.co == nil {
 		return math.Inf(-1)
@@ -662,6 +674,8 @@ func (ls *LoadState) ScreenAdd(u, j int) float64 {
 // PriceSwap(u, v): what u's and v's machines would at least contribute
 // after the 2-exchange. O(T/B), zero allocations, -Inf when screening is
 // disabled.
+//
+//kairos:hotpath
 func (ls *LoadState) ScreenSwap(u, v int) (loU, loV float64) {
 	if ls.co == nil {
 		return math.Inf(-1), math.Inf(-1)
@@ -677,6 +691,8 @@ func (ls *LoadState) ScreenSwap(u, v int) (loU, loV float64) {
 
 // screenExchange is the lower-bound half of boundExchangeSide with the
 // exact pair bookkeeping priceExchange applies.
+//
+//kairos:hotpath
 func (ls *LoadState) screenExchange(j, out, in int) float64 {
 	viol, norm := ls.boundExchangeSide(j, out, in, false)
 	pairs := ls.confPairs[j] - ls.conflictsOn(out, j) + ls.conflictsOnExcluding(in, j, out)
@@ -686,6 +702,8 @@ func (ls *LoadState) screenExchange(j, out, in int) float64 {
 // screenAddViol returns the coarse lower bound on the violation machine j
 // would carry after accepting unit u (0 when screening is off): a positive
 // value proves the placement infeasible without exact pricing.
+//
+//kairos:hotpath
 func (ls *LoadState) screenAddViol(u, j int) float64 {
 	if ls.co == nil {
 		return 0
@@ -699,6 +717,8 @@ func (ls *LoadState) screenAddViol(u, j int) float64 {
 // bit for bit on the exact side. With screening disabled it returns
 // (-Inf, +Inf); when u already lives on j both bounds equal the current
 // contribution, matching PriceAdd.
+//
+//kairos:hotpath
 func (ls *LoadState) BoundAdd(u, j int) (lo, hi float64) {
 	if ls.co == nil {
 		return math.Inf(-1), math.Inf(1)
@@ -715,6 +735,8 @@ func (ls *LoadState) BoundAdd(u, j int) (lo, hi float64) {
 // BoundRemove returns coarse lower and upper bounds on PriceRemove(u),
 // O(T/B), zero allocations. Like PriceRemove it reports (0, 0) when u is
 // its machine's last member.
+//
+//kairos:hotpath
 func (ls *LoadState) BoundRemove(u int) (lo, hi float64) {
 	if ls.co == nil {
 		return math.Inf(-1), math.Inf(1)
@@ -732,6 +754,8 @@ func (ls *LoadState) BoundRemove(u int) (lo, hi float64) {
 // BoundSwap returns coarse lower and upper bounds on both results of
 // PriceSwap(u, v). Like PriceSwap it panics when the units share a
 // machine. O(T/B), zero allocations.
+//
+//kairos:hotpath
 func (ls *LoadState) BoundSwap(u, v int) (loU, hiU, loV, hiV float64) {
 	if ls.co == nil {
 		return math.Inf(-1), math.Inf(1), math.Inf(-1), math.Inf(1)

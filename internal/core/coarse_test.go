@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"kairos/internal/floats"
 	"kairos/internal/model"
 	"kairos/internal/polyfit"
 )
@@ -108,7 +109,7 @@ func TestCoarseBoundSoundness(t *testing.T) {
 							T, iter, u, j, lo, hi, exact)
 					}
 					if ls.Assign(u) != j {
-						if got := ls.ScreenAdd(u, j); got != lo {
+						if got := ls.ScreenAdd(u, j); !floats.Same(got, lo) {
 							t.Fatalf("ScreenAdd(%d,%d) = %v, want BoundAdd lower %v", u, j, got, lo)
 						}
 					}
@@ -129,7 +130,7 @@ func TestCoarseBoundSoundness(t *testing.T) {
 								T, iter, u, v, loU, hiU, loV, hiV, nu, nv)
 						}
 						sU, sV := ls.ScreenSwap(u, v)
-						if sU != loU || sV != loV {
+						if !floats.Same(sU, loU) || !floats.Same(sV, loV) {
 							t.Fatalf("ScreenSwap(%d,%d) = %v/%v, want BoundSwap lowers %v/%v", u, v, sU, sV, loU, loV)
 						}
 					}
@@ -189,7 +190,7 @@ func TestScreenedSweepEquivalence(t *testing.T) {
 				ctx := context.Background()
 				aS, oS, fS := evS.hillClimbRounds(ctx, append([]int(nil), seedAssign...), K, 100)
 				aU, oU, fU := evU.hillClimbRounds(ctx, append([]int(nil), seedAssign...), K, 100)
-				if oS != oU || fS != fU {
+				if !floats.Same(oS, oU) || fS != fU {
 					t.Fatalf("seed %d: screened climb (obj=%v feas=%v) != unscreened (obj=%v feas=%v)",
 						seed, oS, fS, oU, fU)
 				}
@@ -231,7 +232,7 @@ func TestScreenedSolveEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if solS.K != solU.K || solS.Objective != solU.Objective || solS.Feasible != solU.Feasible {
+	if solS.K != solU.K || !floats.Same(solS.Objective, solU.Objective) || solS.Feasible != solU.Feasible {
 		t.Fatalf("screened Solve (K=%d obj=%v) != unscreened (K=%d obj=%v)",
 			solS.K, solS.Objective, solU.K, solU.Objective)
 	}
@@ -254,7 +255,7 @@ func TestScreenedSolveEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resS.K != resU.K || resS.Objective != resU.Objective || resS.Migrated != resU.Migrated {
+	if resS.K != resU.K || !floats.Same(resS.Objective, resU.Objective) || resS.Migrated != resU.Migrated {
 		t.Fatalf("screened Resolve (K=%d obj=%v mig=%d) != unscreened (K=%d obj=%v mig=%d)",
 			resS.K, resS.Objective, resS.Migrated, resU.K, resU.Objective, resU.Migrated)
 	}
@@ -355,7 +356,7 @@ func TestEvalScratchClone(t *testing.T) {
 	}
 	w1, _ := fresh.Eval(a1, K)
 	w2, _ := fresh.Eval(a2, K)
-	if o1 != w1 || o2 != w2 {
+	if !floats.Same(o1, w1) || !floats.Same(o2, w2) {
 		t.Fatalf("clone-interleaved Eval drifted: got %v/%v, want %v/%v", o1, o2, w1, w2)
 	}
 }

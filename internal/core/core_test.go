@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -592,7 +593,7 @@ func TestSolveDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s1.K != s2.K || s1.Objective != s2.Objective {
+	if s1.K != s2.K || !floats.Same(s1.Objective, s2.Objective) {
 		t.Error("solver should be deterministic")
 	}
 	for i := range s1.Assign {

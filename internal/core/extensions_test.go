@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -165,7 +166,7 @@ func TestSolvePartitionedMatchesWholeOnSeparableInput(t *testing.T) {
 	if len(seen) != 12 {
 		t.Errorf("covered %d workloads, want 12", len(seen))
 	}
-	if part.ConsolidationRatio(12) != 12/float64(part.K) {
+	if !floats.Same(part.ConsolidationRatio(12), 12/float64(part.K)) {
 		t.Error("ratio helper wrong")
 	}
 }

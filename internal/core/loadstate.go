@@ -212,6 +212,8 @@ func (ls *LoadState) rematerialize(j int) {
 // exact addition sequence of the canonical pricer (ServerContrib adds one
 // penaltyWeight per conflicting pair), so incremental and scratch pricing
 // agree bit for bit.
+//
+//kairos:hotpath
 func contribWith(norm, viol float64, pairs int) float64 {
 	c := math.Exp(norm) + penaltyWeight*viol
 	for i := 0; i < pairs; i++ {
@@ -222,6 +224,8 @@ func contribWith(norm, viol float64, pairs int) float64 {
 
 // conflictsOn counts unit u's anti-affinity conflicts currently assigned
 // to machine j.
+//
+//kairos:hotpath
 func (ls *LoadState) conflictsOn(u, j int) int {
 	n := 0
 	for _, c := range ls.ev.conflicts[u] {
@@ -235,6 +239,8 @@ func (ls *LoadState) conflictsOn(u, j int) int {
 // conflictsOnExcluding counts unit u's anti-affinity conflicts currently on
 // machine j, ignoring unit excl (used by swap pricing, where excl is about
 // to leave j).
+//
+//kairos:hotpath
 func (ls *LoadState) conflictsOnExcluding(u, j, excl int) int {
 	n := 0
 	for _, c := range ls.ev.conflicts[u] {
@@ -247,6 +253,8 @@ func (ls *LoadState) conflictsOnExcluding(u, j, excl int) int {
 
 // fill writes machine j's sums plus unit u's scaled demand into the
 // scratch buffers (sign +1) or minus it (sign -1).
+//
+//kairos:hotpath
 func (ls *LoadState) fill(u, j int, sign float64) {
 	ev := ls.ev
 	cu, ru, wu, qu := ev.cpu[u], ev.ram[u], ev.ws[u], ev.rate[u]
@@ -265,6 +273,8 @@ func (ls *LoadState) fill(u, j int, sign float64) {
 // lives on j the current contribution is returned unchanged (u is not
 // double-counted). O(T), zero allocations, bit-identical to the canonical
 // scratch pricer.
+//
+//kairos:hotpath
 func (ls *LoadState) PriceAdd(u, j int) float64 {
 	ev := ls.ev
 	if ls.assign[u] == j {
@@ -283,6 +293,8 @@ func (ls *LoadState) PriceAdd(u, j int) float64 {
 // allocations. The subtractive sums can differ from a canonical re-sum in
 // the last ulp; accepted moves re-materialize canonically, so the estimate
 // never persists.
+//
+//kairos:hotpath
 func (ls *LoadState) PriceRemove(u int) float64 {
 	ev := ls.ev
 	from := ls.assign[u]
@@ -309,6 +321,8 @@ func (ls *LoadState) PriceRemove(u int) float64 {
 // current members when u already lives on j). O(T), zero allocations.
 // Like FitsOneMachine it refuses machines whose existing members already
 // conflict or violate, and it does not check pins.
+//
+//kairos:hotpath
 func (ls *LoadState) CanPlace(u, j int) bool {
 	ev := ls.ev
 	if ls.assign[u] == j {
@@ -340,6 +354,8 @@ func (ls *LoadState) CanPlace(u, j int) bool {
 // fillExchange writes machine j's sums minus member `out`'s scaled demand
 // plus unit `in`'s into the scratch buffers — the aggregate j would carry
 // after a 2-exchange.
+//
+//kairos:hotpath
 func (ls *LoadState) fillExchange(j, out, in int) {
 	ev := ls.ev
 	co, ro, wo, qo := ev.cpu[out], ev.ram[out], ev.ws[out], ev.rate[out]
@@ -359,6 +375,8 @@ func (ls *LoadState) fillExchange(j, out, in int) {
 // after the exchange. O(T), zero allocations. Like PriceRemove the
 // subtractive half can differ from a canonical re-sum in the last ulp;
 // Swap re-materializes canonically, so the estimate never enters the state.
+//
+//kairos:hotpath
 func (ls *LoadState) priceExchange(j, out, in int) float64 {
 	ev := ls.ev
 	ls.fillExchange(j, out, in)
@@ -385,6 +403,8 @@ func (ls *LoadState) priceExchange(j, out, in int) float64 {
 // side is one O(T) delta pass over the maintained sums, so a swap costs two
 // move pricings instead of a re-aggregation of both machines — the property
 // that makes 2-exchange sweeps affordable inside the hill climb.
+//
+//kairos:hotpath
 func (ls *LoadState) PriceSwap(u, v int) (newU, newV float64) {
 	a, b := ls.assign[u], ls.assign[v]
 	if a == b {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/model"
 	"kairos/internal/polyfit"
 	"kairos/internal/series"
@@ -94,7 +95,7 @@ func checkCanonical(t *testing.T, ev *Evaluator, ls *LoadState) {
 	for j := 0; j < ls.K(); j++ {
 		members := append([]int(nil), ls.Members(j)...)
 		want := ev.ServerContrib(j, members)
-		if got := ls.Contrib(j); got != want {
+		if got := ls.Contrib(j); !floats.Same(got, want) {
 			t.Fatalf("machine %d contrib = %v, canonical %v", j, got, want)
 		}
 	}
@@ -146,7 +147,7 @@ func TestLoadStateMatchesCanonicalPricing(t *testing.T) {
 
 					if j != from {
 						withU := membersCopyWith(ls, j, u)
-						if got, want := ls.PriceAdd(u, j), ev.ServerContrib(j, withU); got != want {
+						if got, want := ls.PriceAdd(u, j), ev.ServerContrib(j, withU); !floats.Same(got, want) {
 							t.Fatalf("trial %d op %d: PriceAdd(%d,%d) = %v, canonical %v", trial, op, u, j, got, want)
 						}
 						if got, want := ls.CanPlace(u, j), ev.FitsOneMachine(j, withU); got != want {
@@ -155,7 +156,7 @@ func TestLoadStateMatchesCanonicalPricing(t *testing.T) {
 					} else {
 						// Pricing a unit onto its own machine must not
 						// double-count it.
-						if got, want := ls.PriceAdd(u, j), ls.Contrib(j); got != want {
+						if got, want := ls.PriceAdd(u, j), ls.Contrib(j); !floats.Same(got, want) {
 							t.Fatalf("trial %d op %d: self PriceAdd(%d,%d) = %v, contrib %v", trial, op, u, j, got, want)
 						}
 						members := append([]int(nil), ls.Members(j)...)
@@ -290,7 +291,7 @@ func TestLoadStateMoveKeepsAssignInvariant(t *testing.T) {
 	ls := NewLoadState(ev, assign, K)
 	before := ls.Contrib(0)
 	ls.Move(0, ls.Assign(0))
-	if ls.Contrib(0) != before {
+	if !floats.Same(ls.Contrib(0), before) {
 		t.Error("self-move changed state")
 	}
 	for op := 0; op < 50; op++ {
@@ -381,10 +382,10 @@ func TestLoadStateSwapMatchesCanonicalPricing(t *testing.T) {
 								trial, op, ls.Assign(u), ls.Assign(v), b, a)
 						}
 						// Post-swap state is canonical bit for bit.
-						if got, want := ls.Contrib(a), ev.ServerContrib(a, append([]int(nil), ls.Members(a)...)); got != want {
+						if got, want := ls.Contrib(a), ev.ServerContrib(a, append([]int(nil), ls.Members(a)...)); !floats.Same(got, want) {
 							t.Fatalf("trial %d op %d: post-swap contrib(a) = %v, canonical %v", trial, op, got, want)
 						}
-						if got, want := ls.Contrib(b), ev.ServerContrib(b, append([]int(nil), ls.Members(b)...)); got != want {
+						if got, want := ls.Contrib(b), ev.ServerContrib(b, append([]int(nil), ls.Members(b)...)); !floats.Same(got, want) {
 							t.Fatalf("trial %d op %d: post-swap contrib(b) = %v, canonical %v", trial, op, got, want)
 						}
 					}
@@ -452,10 +453,10 @@ func TestEnvMaxMemoBitIdentical(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		ws := rng.Float64() * 2e10
 		want := p.Disk.MaxRowsPerSec(ws)
-		if got := ev.envMax(ws); got != want {
+		if got := ev.envMax(ws); !floats.Same(got, want) {
 			t.Fatalf("envMax(%v) miss = %v, want %v", ws, got, want)
 		}
-		if got := ev.envMax(ws); got != want {
+		if got := ev.envMax(ws); !floats.Same(got, want) {
 			t.Fatalf("envMax(%v) hit = %v, want %v", ws, got, want)
 		}
 	}

@@ -237,6 +237,8 @@ func NewEvaluator(p *Problem) (*Evaluator, error) {
 // The memo is keyed on the exact float bits, so a hit is bit-identical to
 // evaluating the polynomial; misses fill the slot (direct-mapped, newest
 // wins). Zero allocations.
+//
+//kairos:hotpath
 func (ev *Evaluator) envMax(wsBytes float64) float64 {
 	if ev.envKeys == nil {
 		return ev.p.Disk.MaxRowsPerSec(wsBytes)
@@ -256,6 +258,8 @@ func (ev *Evaluator) envMax(wsBytes float64) float64 {
 // per-evaluator memo, keyed on the exact bit pair of both arguments — a hit
 // is bit-identical to evaluating the fitted polynomial, so memoization
 // cannot perturb pricing. Direct-mapped, newest wins, zero allocations.
+//
+//kairos:hotpath
 func (ev *Evaluator) predict(wsBytes, rowsPerSec float64) float64 {
 	if ev.predVals == nil {
 		return ev.p.Disk.PredictWriteMBps(wsBytes, rowsPerSec)
@@ -329,6 +333,8 @@ type ServerLoad struct {
 // member's scaled demand series. Member order is significant at the bit
 // level: LoadState re-materializes sums with the same loop so its canonical
 // state matches serverEval exactly.
+//
+//kairos:hotpath
 func (ev *Evaluator) accumulateInto(members []int, cpuSum, ramSum, wsSum, rateSum []float64) {
 	T := ev.T
 	for t := 0; t < T; t++ {
@@ -351,6 +357,8 @@ func (ev *Evaluator) accumulateInto(members []int, cpuSum, ramSum, wsSum, rateSu
 // the utilization cap the member set imposes (1 when no member declares an
 // SLA). It allocates nothing, so it can run on reusable scratch buffers —
 // the LoadState move-pricing hot path.
+//
+//kairos:hotpath
 func (ev *Evaluator) evalSums(j int, cpuSum, ramSum, wsSum, rateSum []float64, slaCap float64) (cpuPeak, ramPeak, diskPeak, viol, norm float64) {
 	T := ev.T
 	for t := 0; t < T; t++ {
@@ -490,6 +498,8 @@ func (ev *Evaluator) evalScratch(K int) [][]int {
 // is priced as unplaced (one penaltyWeight, infeasible) and contributes no
 // load — exactly the units Report and Plan.String drop — so a plan can
 // never price feasible while displaying a missing workload.
+//
+//kairos:hotpath
 func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 	ev.Fevals++
 	members := ev.evalScratch(K)
@@ -500,7 +510,7 @@ func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 			feasible = false
 			continue
 		}
-		members[j] = append(members[j], u)
+		members[j] = append(members[j], u) //kairoslint:allow hotalloc (amortized: scratch keeps capacity across Evals)
 		if ev.pin[u] >= 0 && ev.pin[u] != j {
 			obj += penaltyWeight
 			feasible = false
@@ -536,6 +546,8 @@ func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 // conflicts[a] is sorted, so this is a binary search — it runs inside
 // every PriceAdd/priceExchange call, where the old linear scan showed up
 // on fleets with wide anti-affinity sets.
+//
+//kairos:hotpath
 func (ev *Evaluator) conflicted(a, b int) bool {
 	s := ev.conflicts[a]
 	lo, hi := 0, len(s)

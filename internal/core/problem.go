@@ -24,6 +24,7 @@ import (
 	"math"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/model"
 	"kairos/internal/series"
 )
@@ -214,10 +215,10 @@ func (p *Problem) Validate() error {
 // onto disjoint machine ranges.
 func (p *Problem) HomogeneousMachines() bool {
 	for _, m := range p.Machines[1:] {
-		if m.CPUCapacity != p.Machines[0].CPUCapacity ||
-			m.RAMBytes != p.Machines[0].RAMBytes ||
-			m.DiskWriteBps != p.Machines[0].DiskWriteBps ||
-			m.Headroom != p.Machines[0].Headroom {
+		if !floats.Same(m.CPUCapacity, p.Machines[0].CPUCapacity) ||
+			!floats.Same(m.RAMBytes, p.Machines[0].RAMBytes) ||
+			!floats.Same(m.DiskWriteBps, p.Machines[0].DiskWriteBps) ||
+			!floats.Same(m.Headroom, p.Machines[0].Headroom) {
 			return false
 		}
 	}

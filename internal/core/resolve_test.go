@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -301,7 +302,7 @@ func TestResolveDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(w1.Assign, w8.Assign) || w1.K != w8.K || w1.Objective != w8.Objective {
+	if !reflect.DeepEqual(w1.Assign, w8.Assign) || w1.K != w8.K || !floats.Same(w1.Objective, w8.Objective) {
 		t.Fatalf("plans differ across worker counts: K %d vs %d, obj %v vs %v",
 			w1.K, w8.K, w1.Objective, w8.Objective)
 	}
@@ -476,7 +477,7 @@ func TestPriceIncumbent(t *testing.T) {
 	if K != sol.K {
 		t.Errorf("K = %d, want %d", K, sol.K)
 	}
-	if feas != sol.Feasible || obj != sol.Objective {
+	if feas != sol.Feasible || !floats.Same(obj, sol.Objective) {
 		t.Errorf("priced (%v, %v), want the solution's own (%v, %v)",
 			obj, feas, sol.Objective, sol.Feasible)
 	}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"kairos/internal/floats"
 )
 
 // ShardOptions tunes SolveSharded.
@@ -280,7 +282,7 @@ func correlationShards(p *Problem, nShards int) [][]int {
 		rank[i] = ranked{w: i, corr: pearson(p.Workloads[i].CPU.Values, agg)}
 	}
 	sort.SliceStable(rank, func(a, b int) bool {
-		if rank[a].corr != rank[b].corr {
+		if !floats.Same(rank[a].corr, rank[b].corr) {
 			return rank[a].corr > rank[b].corr
 		}
 		return rank[a].w < rank[b].w
@@ -349,7 +351,7 @@ func (ev *Evaluator) reduceK(assign []int, K int) ([]int, int) {
 			order[j] = mload{j, ls.NormLoad(j)}
 		}
 		sort.SliceStable(order, func(a, b int) bool {
-			if order[a].load != order[b].load {
+			if !floats.Same(order[a].load, order[b].load) {
 				return order[a].load < order[b].load
 			}
 			return order[a].j > order[b].j

@@ -7,6 +7,7 @@ import (
 
 	"kairos/internal/core"
 	"kairos/internal/fleet"
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -33,7 +34,7 @@ func fleetCase(d fleet.Dataset) *core.Problem {
 
 func samePlan(t *testing.T, a, b *core.Solution, label string) {
 	t.Helper()
-	if a.K != b.K || a.Feasible != b.Feasible || a.Objective != b.Objective || a.Fevals != b.Fevals {
+	if a.K != b.K || a.Feasible != b.Feasible || !floats.Same(a.Objective, b.Objective) || a.Fevals != b.Fevals {
 		t.Errorf("%s: (K=%d feas=%v obj=%v fevals=%d) vs (K=%d feas=%v obj=%v fevals=%d)",
 			label, a.K, a.Feasible, a.Objective, a.Fevals, b.K, b.Feasible, b.Objective, b.Fevals)
 	}

@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"kairos/internal/floats"
 )
 
 // defaultWorkers is the pool size when Options.Workers is unset.
@@ -381,7 +383,7 @@ func potentiallyOptimal(rects []*rect, fmin, eps float64) []int {
 		reps = append(reps, rep)
 	}
 	sort.Slice(reps, func(a, b int) bool {
-		if reps[a].d != reps[b].d {
+		if !floats.Same(reps[a].d, reps[b].d) {
 			return reps[a].d < reps[b].d
 		}
 		return reps[a].f < reps[b].f

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"kairos/internal/floats"
 )
 
 func TestMinimizeValidation(t *testing.T) {
@@ -172,7 +174,7 @@ func TestDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.F != r2.F || r1.X[0] != r2.X[0] || r1.X[1] != r2.X[1] {
+	if !floats.Same(r1.F, r2.F) || !floats.Same(r1.X[0], r2.X[0]) || !floats.Same(r1.X[1], r2.X[1]) {
 		t.Error("DIRECT should be fully deterministic")
 	}
 }

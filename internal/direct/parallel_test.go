@@ -5,6 +5,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"kairos/internal/floats"
 )
 
 // rastrigin is an expensive-ish multimodal objective for parallel tests.
@@ -18,12 +20,12 @@ func rastrigin(x []float64) float64 {
 
 func sameResult(t *testing.T, a, b Result, label string) {
 	t.Helper()
-	if a.F != b.F || a.Fevals != b.Fevals || a.Iters != b.Iters {
+	if !floats.Same(a.F, b.F) || a.Fevals != b.Fevals || a.Iters != b.Iters {
 		t.Errorf("%s: (F=%v fevals=%d iters=%d) vs (F=%v fevals=%d iters=%d)",
 			label, a.F, a.Fevals, a.Iters, b.F, b.Fevals, b.Iters)
 	}
 	for i := range a.X {
-		if a.X[i] != b.X[i] {
+		if !floats.Same(a.X[i], b.X[i]) {
 			t.Errorf("%s: X[%d] = %v vs %v", label, i, a.X[i], b.X[i])
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/predict"
 	"kairos/internal/series"
 )
@@ -356,7 +357,7 @@ func (d *Detector) Observe(samples []Sample) (*Trigger, error) {
 	}
 	sort.Slice(firing, func(i, j int) bool {
 		a, b := firing[i], firing[j]
-		if a.Drift != b.Drift {
+		if !floats.Same(a.Drift, b.Drift) {
 			return a.Drift > b.Drift
 		}
 		if a.Workload != b.Workload {

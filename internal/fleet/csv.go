@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -100,7 +101,7 @@ func ReadCSV(r io.Reader, name string) (Fleet, error) {
 			a = &acc{cores: cores, clock: clock, ram: ram, firstRow: row}
 			byServer[name] = a
 			order = append(order, name)
-		} else if a.cores != cores || a.clock != clock || a.ram != ram {
+		} else if a.cores != cores || !floats.Same(a.clock, clock) || a.ram != ram {
 			// Metadata must be constant per server: silently keeping the
 			// first row's values would hide corrupted or mis-merged traces.
 			return Fleet{}, fmt.Errorf(

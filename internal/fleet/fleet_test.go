@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -64,7 +65,7 @@ func TestDeterministicGeneration(t *testing.T) {
 			t.Fatal("hardware differs between runs")
 		}
 		for t2 := range sa.CPU.Values {
-			if sa.CPU.Values[t2] != sb.CPU.Values[t2] {
+			if !floats.Same(sa.CPU.Values[t2], sb.CPU.Values[t2]) {
 				t.Fatal("CPU traces differ between runs")
 			}
 		}
@@ -73,8 +74,8 @@ func TestDeterministicGeneration(t *testing.T) {
 
 func TestDatasetsDiffer(t *testing.T) {
 	a, b := Generate(Internal), Generate(Wikia)
-	if a.Servers[0].CPU.Values[0] == b.Servers[0].CPU.Values[0] &&
-		a.Servers[1].CPU.Values[7] == b.Servers[1].CPU.Values[7] {
+	if floats.Same(a.Servers[0].CPU.Values[0], b.Servers[0].CPU.Values[0]) &&
+		floats.Same(a.Servers[1].CPU.Values[7], b.Servers[1].CPU.Values[7]) {
 		t.Error("different datasets produced identical traces")
 	}
 }

@@ -1,0 +1,164 @@
+// Package driver loads Go packages and runs kairoslint analyzers over
+// them. It enumerates packages with `go list -json` (so build constraints
+// and file lists match the real build exactly), parses and type-checks
+// each one with the stdlib source importer, runs every analyzer, and
+// filters //kairoslint:allow-suppressed findings. It is the multichecker
+// behind cmd/kairoslint and `make lint`.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/lintutil"
+)
+
+// Package is one type-checked analysis unit. A listed package yields one
+// unit covering its GoFiles plus in-package test files, and — when it has
+// external (package foo_test) test files — a second unit for those.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load enumerates the packages matching patterns (relative to the current
+// working directory, which must be inside the module) and type-checks
+// them. Test files are included: the analyzers' contracts bind tests too.
+func Load(patterns []string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := lintutil.NewImporter(fset)
+	var pkgs []*Package
+	for _, lp := range listed {
+		units := [][]string{append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)}
+		paths := []string{lp.ImportPath}
+		if len(lp.XTestGoFiles) > 0 {
+			units = append(units, lp.XTestGoFiles)
+			paths = append(paths, lp.ImportPath+"_test")
+		}
+		for i, names := range units {
+			if len(names) == 0 {
+				continue
+			}
+			files := make([]*ast.File, len(names))
+			for j, name := range names {
+				f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+				if err != nil {
+					return nil, err
+				}
+				files[j] = f
+			}
+			tpkg, info, err := lintutil.TypeCheck(fset, imp, paths[i], files)
+			if err != nil {
+				return nil, fmt.Errorf("type-checking %s: %w", paths[i], err)
+			}
+			pkgs = append(pkgs, &Package{Path: paths[i], Fset: fset, Files: files, Types: tpkg, Info: info})
+		}
+	}
+	return pkgs, nil
+}
+
+// goList shells out to `go list -json` for the patterns.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package, drops suppressed findings,
+// and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		supp := lintutil.NewSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if supp.Allowed(d.Pos, a.Name) {
+					return
+				}
+				out = append(out, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,60 @@
+// Package floatdet forbids raw == and != between two computed
+// floating-point values. The solver's bit-identical-plan guarantees
+// (screened vs unscreened search, incremental vs scratch pricing) make
+// float equality load-bearing in this repo, so every exact comparison
+// must go through the canonical helpers in internal/floats — floats.Same
+// spells out bit-exact intent, floats.Near takes a tolerance — or carry a
+// //kairoslint:allow floatdet waiver.
+//
+// Comparisons against compile-time constants (x == 0, k != defaultWidth)
+// are allowed: sentinel and threshold checks against literals are
+// deterministic and idiomatic. The dangerous shape is variable-vs-
+// variable, where a refactor that perturbs one ulp silently flips the
+// branch.
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kairos/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc:  "reports raw ==/!= between computed floats; use internal/floats helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			if isConst(pass, be.X) || isConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "raw float %s comparison; use floats.Same (bit-exact intent) or floats.Near (tolerance)", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].Value != nil
+}

@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/floatdet"
+)
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, "testdata", floatdet.Analyzer, "floatdetfix")
+}

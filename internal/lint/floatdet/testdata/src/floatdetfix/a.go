@@ -1,0 +1,37 @@
+// Package floatdetfix exercises floatdet: variable-vs-variable float
+// equality fires, constant comparisons and non-floats stay silent, and
+// the allow waiver works.
+package floatdetfix
+
+const eps = 1e-9
+
+func cmp(a, b float64) bool {
+	if a == b { // want "raw float == comparison"
+		return true
+	}
+	return a != b // want "raw float != comparison"
+}
+
+func cmp32(a, b float32) bool {
+	return a == b // want "raw float == comparison"
+}
+
+func mixed(a float64, i int) bool {
+	return a == float64(i) // want "raw float == comparison"
+}
+
+func constSentinels(x float64) bool {
+	return x == 0 || x != eps || 1.5 == x
+}
+
+func nonFloats(i, j int, s, t string) bool {
+	return i == j || s != t
+}
+
+func ordered(a, b float64) bool {
+	return a < b || a >= b // only ==/!= are nondeterminism hazards
+}
+
+func waived(a, b float64) bool {
+	return a == b //kairoslint:allow floatdet (bit-identity proven upstream)
+}

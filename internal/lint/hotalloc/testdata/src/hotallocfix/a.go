@@ -1,0 +1,67 @@
+// Package hotallocfix exercises every construct hotalloc reports, the
+// cold-path exemptions, and the //kairoslint:allow escape hatch.
+package hotallocfix
+
+import "fmt"
+
+type sink struct {
+	buf []int
+}
+
+func takesAny(v any) { _ = v }
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func (s *sink) cold() {}
+
+// hot trips every allocating construct.
+//
+//kairos:hotpath
+func (s *sink) hot(n int, name string) {
+	m := map[int]int{} // want "map literal allocates in hot path"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates in hot path"
+	_ = sl
+	p := &sink{} // want "address-of composite literal allocates in hot path"
+	_ = p
+	b := make([]byte, n) // want "make allocates in hot path"
+	_ = b
+	q := new(int) // want "new allocates in hot path"
+	_ = q
+	s.buf = append(s.buf, n) // want "append may grow its backing array in hot path"
+	f := func() {}           // want "closure allocates in hot path"
+	f()
+	_ = name + "!"          // want "string concatenation allocates in hot path"
+	go s.cold()             // want "go statement allocates in hot path"
+	_ = any(n)              // want "conversion to interface allocates in hot path"
+	takesAny(n)             // want "implicit conversion to interface allocates in hot path"
+	_ = fmt.Sprint(name, n) // want "implicit conversion to interface" "implicit conversion to interface" "variadic call allocates its argument slice"
+	_ = sum(1, n)           // want "variadic call allocates its argument slice in hot path"
+}
+
+// hotGuarded shows the cold-path exemptions: panic subtrees are skipped
+// wholesale, slice pass-through variadics do not allocate, and retained
+// scratch appends carry the allow waiver.
+//
+//kairos:hotpath
+func (s *sink) hotGuarded(n int, name string, xs []int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d for %s", n, "x"+name))
+	}
+	s.buf = append(s.buf, n) //kairoslint:allow hotalloc (capacity retained)
+	takesAny(nil)            // untyped nil boxes no value
+	return sum(xs...)
+}
+
+// coldPath has no marker, so nothing fires.
+func (s *sink) coldPath(n int) {
+	s.buf = append(s.buf, make([]int, n)...)
+	go s.cold()
+	takesAny(n)
+}

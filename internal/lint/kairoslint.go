@@ -1,0 +1,25 @@
+// Package lint assembles the kairoslint analyzer suite: the custom
+// static checks that prove this repo's performance and concurrency
+// contracts at analysis time, over every file, on every CI run. Each
+// analyzer lives in its own subpackage with an analysistest fixture
+// suite; cmd/kairoslint is the multichecker binary and `make lint` runs
+// it over ./...
+package lint
+
+import (
+	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/floatdet"
+	"kairos/internal/lint/hotalloc"
+	"kairos/internal/lint/lockguard"
+	"kairos/internal/lint/wirejson"
+)
+
+// Analyzers returns the full suite in output order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatdet.Analyzer,
+		hotalloc.Analyzer,
+		lockguard.Analyzer,
+		wirejson.Analyzer,
+	}
+}

@@ -1,0 +1,134 @@
+// Package lintutil holds the pieces every kairoslint analyzer and driver
+// shares: the repo's annotation conventions (//kairos:hotpath,
+// //kairos:locked, "guarded by <mu>" field comments), the
+// //kairoslint:allow line-suppression escape hatch, and a stdlib-only
+// type-checking helper built on the source importer (the repo vendors no
+// third-party code, so golang.org/x/tools/go/packages is off the table).
+package lintutil
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// HasMarker reports whether a comment group contains the given directive
+// as a whole line, e.g. "//kairos:hotpath". Directive comments follow the
+// Go convention: no space after the slashes, machine-readable, and they
+// may share the group with prose lines.
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if strings.TrimSpace(text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// GuardedBy extracts the mutex field name from the first "guarded by
+// <name>" phrase found in the given comment groups (a struct field's Doc
+// and trailing Comment). ok is false when no group declares a guard.
+func GuardedBy(groups ...*ast.CommentGroup) (mutex string, ok bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(g.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// allowPrefix introduces a line suppression: a comment of the form
+// "//kairoslint:allow name1 name2" on the same line as a diagnostic
+// silences those analyzers there.
+const allowPrefix = "kairoslint:allow"
+
+// Suppressions indexes the //kairoslint:allow comments of a package so
+// the driver can drop suppressed diagnostics by (file, line).
+type Suppressions struct {
+	fset *token.FileSet
+	// byLine maps file/line to the analyzer names allowed there.
+	byLine map[suppKey]map[string]bool
+}
+
+type suppKey struct {
+	file string
+	line int
+}
+
+// NewSuppressions scans the files' comments for allow directives.
+func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{fset: fset, byLine: map[suppKey]map[string]bool{}}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := suppKey{file: pos.Filename, line: pos.Line}
+				names := s.byLine[key]
+				if names == nil {
+					names = map[string]bool{}
+					s.byLine[key] = names
+				}
+				for _, name := range strings.Fields(strings.TrimPrefix(text, allowPrefix)) {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether the analyzer is suppressed on pos's line.
+func (s *Suppressions) Allowed(pos token.Pos, analyzer string) bool {
+	p := s.fset.Position(pos)
+	return s.byLine[suppKey{file: p.Filename, line: p.Line}][analyzer]
+}
+
+// NewImporter returns a source-based importer sharing fset, suitable for
+// type-checking module packages and their stdlib dependencies without
+// compiled export data. Cgo is disabled so the pure-Go variants of net &
+// friends are selected — the source importer cannot preprocess cgo files.
+func NewImporter(fset *token.FileSet) types.ImporterFrom {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// TypeCheck checks one package's parsed files under the given import
+// path, resolving imports through imp.
+func TypeCheck(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

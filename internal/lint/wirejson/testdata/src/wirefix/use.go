@@ -1,0 +1,23 @@
+// use.go holds composite literals: wire-struct literals must be keyed
+// anywhere they appear; local non-wire structs are unconstrained.
+package wirefix
+
+type local struct {
+	a, b int
+}
+
+func build() PlanOK {
+	good := PlanOK{ID: "p", Count: 1}
+	_ = good
+	empty := PlanOK{}
+	_ = empty
+	return PlanOK{"p", 1, 0} // want "unkeyed composite literal of wire struct PlanOK: positional fields silently reorder the API"
+}
+
+func waived() PlanOK {
+	return PlanOK{"p", 1, 0} //kairoslint:allow wirejson (fixture for the escape hatch)
+}
+
+func other() local {
+	return local{1, 2}
+}

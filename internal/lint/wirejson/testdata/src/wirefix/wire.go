@@ -1,0 +1,24 @@
+// wire.go declares this fixture package's wire contract — every struct
+// here must be fully json-tagged.
+package wirefix
+
+type PlanOK struct {
+	ID    string `json:"id"`
+	Count int    `json:"count"`
+	Skip  int    `json:"-"`
+}
+
+type PlanBad struct {
+	ID     string `json:"id"`
+	NoTag  int    // want "field NoTag of wire struct PlanBad has no json tag naming its wire key"
+	Keyed  int    `yaml:"k"` // want "field Keyed of wire struct PlanBad has no json tag naming its wire key"
+	Blank  int    `json:""`  // want "field Blank of wire struct PlanBad has no json tag naming its wire key"
+	hidden int    // want "unexported field hidden in wire struct PlanBad will not be serialized"
+}
+
+type Wrapped struct {
+	PlanOK // want "embedded field in wire struct Wrapped: declare an explicit field with a json tag instead"
+}
+
+// ID is not a struct, so the tag rules do not apply.
+type ID string

@@ -1,0 +1,144 @@
+// Package wirejson machine-checks the wire-contract convention: files
+// named wire.go declare the structs that cross a serialization boundary
+// (the control plane's /v1/ JSON API lives in internal/server/wire.go).
+//
+// Two rules follow from that convention:
+//
+//  1. In a wire.go file, every field of every package-level struct must
+//     carry an explicit json tag naming its wire key (or "-" to opt
+//     out), and no field may be unexported — an untagged or invisible
+//     field changes the wire format silently.
+//  2. Anywhere in the tree, composite literals of a wire struct must be
+//     keyed: a positional literal silently reorders the API the moment a
+//     field is inserted.
+package wirejson
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"kairos/internal/lint/analysis"
+)
+
+// WireFile is the basename that marks a file as a wire contract.
+const WireFile = "wire.go"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirejson",
+	Doc:  "checks json-tag completeness of wire.go structs and forbids unkeyed wire-struct literals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == WireFile {
+			checkDecls(pass, f)
+		}
+		checkLiterals(pass, f)
+	}
+	return nil, nil
+}
+
+// checkDecls enforces tag completeness on one wire.go file's structs.
+func checkDecls(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				names := field.Names
+				if len(names) == 0 {
+					pass.Reportf(field.Pos(), "embedded field in wire struct %s: declare an explicit field with a json tag instead", ts.Name.Name)
+					continue
+				}
+				for _, name := range names {
+					if !name.IsExported() {
+						pass.Reportf(name.Pos(), "unexported field %s in wire struct %s will not be serialized", name.Name, ts.Name.Name)
+						continue
+					}
+					if !hasJSONName(field.Tag) {
+						pass.Reportf(name.Pos(), "field %s of wire struct %s has no json tag naming its wire key", name.Name, ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasJSONName reports whether the field tag names an explicit json key
+// (or opts out with "-").
+func hasJSONName(tag *ast.BasicLit) bool {
+	if tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(tag.Value)
+	if err != nil {
+		return false
+	}
+	jt, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return false
+	}
+	name, _, _ := strings.Cut(jt, ",")
+	return name != ""
+}
+
+// checkLiterals forbids positional composite literals of wire structs
+// wherever they appear.
+func checkLiterals(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		named := wireStruct(pass, pass.TypesInfo.TypeOf(lit))
+		if named == nil {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+				pass.Reportf(lit.Pos(), "unkeyed composite literal of wire struct %s: positional fields silently reorder the API", named.Obj().Name())
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// wireStruct returns the named struct type when t is a package-level
+// struct declared in a wire.go file (of any package — the shared fileset
+// resolves positions across import boundaries).
+func wireStruct(pass *analysis.Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	if filepath.Base(pass.Fset.Position(obj.Pos()).Filename) != WireFile {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,12 @@
+package wirejson_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/wirejson"
+)
+
+func TestWirejson(t *testing.T) {
+	analysistest.Run(t, "testdata", wirejson.Analyzer, "wirefix")
+}

@@ -8,6 +8,7 @@ import (
 
 	"kairos/internal/dbms"
 	"kairos/internal/disk"
+	"kairos/internal/floats"
 	"kairos/internal/polyfit"
 	"kairos/internal/series"
 )
@@ -359,12 +360,12 @@ func TestHybridDisk(t *testing.T) {
 	}
 	// Low-percentile steps use the baseline; high steps use the model.
 	for t2 := 0; t2 < n/2; t2++ {
-		if hybrid.Values[t2] != measured.Values[t2] {
+		if !floats.Same(hybrid.Values[t2], measured.Values[t2]) {
 			t.Errorf("step %d: hybrid = %v, want baseline %v", t2, hybrid.Values[t2], measured.Values[t2])
 		}
 	}
 	for t2 := n/2 + 1; t2 < n; t2++ {
-		if hybrid.Values[t2] != pred.Values[t2] {
+		if !floats.Same(hybrid.Values[t2], pred.Values[t2]) {
 			t.Errorf("step %d: hybrid = %v, want model %v", t2, hybrid.Values[t2], pred.Values[t2])
 		}
 	}

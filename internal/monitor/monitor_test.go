@@ -7,6 +7,7 @@ import (
 
 	"kairos/internal/dbms"
 	"kairos/internal/disk"
+	"kairos/internal/floats"
 	"kairos/internal/workload"
 )
 
@@ -89,7 +90,7 @@ func TestCollectProducesProfiles(t *testing.T) {
 		t.Errorf("instance update rate = %v, want %v", got, sumUpd)
 	}
 	// Working sets are reported from the specs.
-	if got := pa.WorkingSetBytes.Mean(); got != float64(specA.WorkingSetBytes()) {
+	if got := pa.WorkingSetBytes.Mean(); !floats.Same(got, float64(specA.WorkingSetBytes())) {
 		t.Errorf("working set = %v, want %v", got, specA.WorkingSetBytes())
 	}
 	// Disk writes include log traffic: must be positive.

@@ -3,6 +3,8 @@ package polyfit
 import (
 	"fmt"
 	"math"
+
+	"kairos/internal/floats"
 )
 
 // Poly1D is a univariate polynomial c[0] + c[1]·x + c[2]·x² + …
@@ -204,7 +206,7 @@ func FitEnvelope1D(xs, ys []float64, degree, nBuckets int) (Poly1D, error) {
 			hi = x
 		}
 	}
-	if hi == lo {
+	if floats.Same(hi, lo) {
 		return Poly1D{}, fmt.Errorf("polyfit: envelope needs spread in x")
 	}
 	maxY := make([]float64, nBuckets)

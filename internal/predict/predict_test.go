@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kairos/internal/fleet"
+	"kairos/internal/floats"
 	"kairos/internal/series"
 )
 
@@ -136,7 +137,7 @@ func TestMeanOfWindows(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, want := range []float64{2, 3, 4} {
-		if m.Values[i] != want {
+		if !floats.Same(m.Values[i], want) {
 			t.Errorf("mean[%d] = %v, want %v", i, m.Values[i], want)
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"kairos/internal/floats"
 )
 
 var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
@@ -90,7 +92,7 @@ func TestMaxConsolidation(t *testing.T) {
 	}
 	want := []float64{5, 3, -1}
 	for i, w := range want {
-		if s.Values[i] != w {
+		if !floats.Same(s.Values[i], w) {
 			t.Errorf("Fetch[%d] = %v, want %v", i, s.Values[i], w)
 		}
 	}
@@ -205,7 +207,7 @@ func TestCodecRoundTrip(t *testing.T) {
 			t.Fatalf("archive %d length mismatch", idx)
 		}
 		for i := range a.Values {
-			if a.Values[i] != b.Values[i] && !(math.IsNaN(a.Values[i]) && math.IsNaN(b.Values[i])) {
+			if !floats.Same(a.Values[i], b.Values[i]) && !(math.IsNaN(a.Values[i]) && math.IsNaN(b.Values[i])) {
 				t.Errorf("archive %d row %d: %v != %v", idx, i, a.Values[i], b.Values[i])
 			}
 		}
@@ -279,7 +281,7 @@ func TestRoundRobinWindowProperty(t *testing.T) {
 			return false
 		}
 		for i := 0; i < want; i++ {
-			if s.Values[i] != vals[len(vals)-want+i] {
+			if !floats.Same(s.Values[i], vals[len(vals)-want+i]) {
 				return false
 			}
 		}
@@ -320,7 +322,7 @@ func TestCodecRoundTripProperty(t *testing.T) {
 			}
 			for i := range a.Values {
 				av, bv := a.Values[i], b.Values[i]
-				if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				if !floats.Same(av, bv) && !(math.IsNaN(av) && math.IsNaN(bv)) {
 					return false
 				}
 			}
@@ -387,7 +389,7 @@ func TestFetchTimestampsAcrossWrap(t *testing.T) {
 			for i := 0; i < retained; i++ {
 				r := firstRow + i
 				wantVal := float64(r*tc.steps) + float64(tc.steps-1)/2
-				if s.Values[i] != wantVal {
+				if !floats.Same(s.Values[i], wantVal) {
 					t.Errorf("row %d value = %v, want %v", r, s.Values[i], wantVal)
 				}
 				wantT := t0.Add(time.Duration(r) * rowStep)

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"kairos/internal/floats"
 )
 
 var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
@@ -26,7 +28,7 @@ func TestFromFunc(t *testing.T) {
 	s := FromFunc(t0, time.Minute, 4, func(_ time.Time, i int) float64 { return float64(i * i) })
 	want := []float64{0, 1, 4, 9}
 	for i, v := range want {
-		if s.Values[i] != v {
+		if !floats.Same(s.Values[i], v) {
 			t.Errorf("Values[%d] = %v, want %v", i, s.Values[i], v)
 		}
 	}
@@ -128,7 +130,7 @@ func TestResample(t *testing.T) {
 		t.Fatalf("Resample len = %d, want 3", len(r.Values))
 	}
 	for i, v := range want {
-		if r.Values[i] != v {
+		if !floats.Same(r.Values[i], v) {
 			t.Errorf("Resample[%d] = %v, want %v", i, r.Values[i], v)
 		}
 	}

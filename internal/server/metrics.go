@@ -15,8 +15,8 @@ import (
 type metrics struct {
 	mu sync.Mutex
 	// perFleet maps fleet ID -> counter set.
-	perFleet map[string]*fleetMetrics
-	fleets   int
+	perFleet map[string]*fleetMetrics // guarded by mu
+	fleets   int                      // guarded by mu
 }
 
 // resolveBuckets are the histogram upper bounds (seconds) for re-solve
@@ -41,9 +41,9 @@ func newMetrics() *metrics {
 	return &metrics{perFleet: map[string]*fleetMetrics{}}
 }
 
-// fleet returns (creating if needed) the counter set for id. Callers hold
-// m.mu.
-func (m *metrics) fleet(id string) *fleetMetrics {
+// fleetLocked returns (creating if needed) the counter set for id.
+// Callers hold m.mu — the Locked suffix is the lockguard exemption.
+func (m *metrics) fleetLocked(id string) *fleetMetrics {
 	fm := m.perFleet[id]
 	if fm == nil {
 		fm = &fleetMetrics{bucketCounts: make([]int64, len(resolveBuckets))}
@@ -63,7 +63,7 @@ func (m *metrics) setFleets(n int) {
 func (m *metrics) observeWindow(id string, err bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	fm := m.fleet(id)
+	fm := m.fleetLocked(id)
 	if err {
 		fm.ingestErrors++
 		return
@@ -75,7 +75,7 @@ func (m *metrics) observeWindow(id string, err bool) {
 func (m *metrics) observeTrigger(id string, fevals, migrations int, elapsed time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	fm := m.fleet(id)
+	fm := m.fleetLocked(id)
 	fm.triggers++
 	fm.fevals += int64(fevals)
 	fm.migrations += int64(migrations)

@@ -18,8 +18,8 @@ import (
 // cancels every reconcile loop and waits for them to drain.
 type Server struct {
 	mu     sync.Mutex
-	fleets map[string]*session
-	closed bool
+	fleets map[string]*session // guarded by mu
+	closed bool                // guarded by mu
 
 	ctx    context.Context
 	cancel context.CancelFunc

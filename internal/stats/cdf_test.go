@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"kairos/internal/floats"
 )
 
 func TestCDFBasics(t *testing.T) {
@@ -23,7 +25,7 @@ func TestCDFBasics(t *testing.T) {
 		{100, 1},
 	}
 	for _, cse := range cases {
-		if got := c.At(cse.x); got != cse.want {
+		if got := c.At(cse.x); !floats.Same(got, cse.want) {
 			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
 		}
 	}
@@ -178,10 +180,10 @@ func TestCDFQuantileMatchesMinMax(t *testing.T) {
 			}
 		}
 		c := NewCDF(xs)
-		if got := c.Quantile(0); got != mn {
+		if got := c.Quantile(0); !floats.Same(got, mn) {
 			t.Fatalf("trial %d: Quantile(0) = %v, want min %v", trial, got, mn)
 		}
-		if got := c.Quantile(1); got != mx {
+		if got := c.Quantile(1); !floats.Same(got, mx) {
 			t.Fatalf("trial %d: Quantile(1) = %v, want max %v", trial, got, mx)
 		}
 	}

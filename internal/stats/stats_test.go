@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"kairos/internal/floats"
 )
 
 func almostEqual(a, b, eps float64) bool {
@@ -216,7 +218,7 @@ func TestPercentileProperties(t *testing.T) {
 		p0, _ := Percentile(xs, 0)
 		p100, _ := Percentile(xs, 100)
 		mn, mx, _ := MinMax(xs)
-		if p0 != mn || p100 != mx {
+		if !floats.Same(p0, mn) || !floats.Same(p100, mx) {
 			return false
 		}
 		prev := p0

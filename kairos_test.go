@@ -8,6 +8,7 @@ import (
 
 	"kairos/internal/dbms"
 	"kairos/internal/disk"
+	"kairos/internal/floats"
 	"kairos/internal/series"
 	"kairos/internal/workload"
 )
@@ -146,12 +147,12 @@ func TestMeasureAndConvertProfile(t *testing.T) {
 	if w.Name != "m" || w.CPU.Len() != 5 {
 		t.Error("conversion lost data")
 	}
-	if w.CPU.Values[0] != p.CPU.Values[0]*8.0/12.0 {
+	if !floats.Same(w.CPU.Values[0], p.CPU.Values[0]*8.0/12.0) {
 		t.Error("CPU scaling not applied")
 	}
 	// Zero scale means identity.
 	w2 := WorkloadFromProfile(p, 0)
-	if w2.CPU.Values[0] != p.CPU.Values[0] {
+	if !floats.Same(w2.CPU.Values[0], p.CPU.Values[0]) {
 		t.Error("zero cpuScale should mean unscaled")
 	}
 }

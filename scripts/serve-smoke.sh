@@ -13,7 +13,13 @@ cleanup() {
 	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
 	rm -rf "$TMP"
 }
-trap cleanup EXIT INT TERM
+# Cleanup runs exactly once, from the EXIT trap; the signal traps just
+# convert INT/TERM into an exit (with the conventional 128+signo code),
+# which fires EXIT. Trapping cleanup on all three ran it twice on a
+# signal and exited 0.
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 fail() {
 	echo "serve-smoke: FAIL: $*" >&2

@@ -96,11 +96,11 @@ type AutoReconsolidator struct {
 	machines []Machine
 	dp       *DiskProfile
 	opt      WatchOptions
-	det      *drift.Detector
-	inc      *Incumbent
+	det      *drift.Detector // guarded by mu
+	inc      *Incumbent      // guarded by mu
 	// history holds the last `histLen` observation windows, oldest first,
 	// feeding the forecast the triggered re-solve consumes.
-	history [][]Workload
+	history [][]Workload // guarded by mu
 	histLen int
 }
 
@@ -195,7 +195,10 @@ func (ar *AutoReconsolidator) Observe(observed []Workload) (*ReconsolidationEven
 }
 
 // resolve runs the triggered warm re-solve and commits its outcome (new
-// incumbent, rebased detector). It mutates ar only on success.
+// incumbent, rebased detector). It mutates ar only on success. Observe
+// calls it with ar.mu held.
+//
+//kairos:locked
 func (ar *AutoReconsolidator) resolve(trig *DriftTrigger) (*ReconsolidationEvent, error) {
 	forecast, err := forecastWorkloads(ar.history)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kairos/internal/fleet"
+	"kairos/internal/floats"
 	"kairos/internal/predict"
 	"kairos/internal/series"
 )
@@ -156,7 +157,7 @@ func TestWatchTriggersOnlyOnDrift(t *testing.T) {
 		t.Errorf("triggered plan (K=%d obj=%v) differs from fixed-cadence warm re-solve on the same inputs (K=%d obj=%v)",
 			ev.Plan.K, ev.Plan.Objective, cadence.K, cadence.Objective)
 	}
-	if ev.ObjectiveDelta != ev.StaleObjective-ev.Plan.Objective {
+	if !floats.Same(ev.ObjectiveDelta, ev.StaleObjective-ev.Plan.Objective) {
 		t.Errorf("ObjectiveDelta = %v, want stale-new = %v",
 			ev.ObjectiveDelta, ev.StaleObjective-ev.Plan.Objective)
 	}
@@ -370,7 +371,7 @@ func TestWatchDriftedFleet197(t *testing.T) {
 	}
 	// The stale incumbent priced on the forecast is what the re-solve had
 	// to beat; sanity-check the delta is reported coherently.
-	if ev.ObjectiveDelta != ev.StaleObjective-ev.Plan.Objective {
+	if !floats.Same(ev.ObjectiveDelta, ev.StaleObjective-ev.Plan.Objective) {
 		t.Errorf("delta %v != stale %v - new %v", ev.ObjectiveDelta, ev.StaleObjective, ev.Plan.Objective)
 	}
 }
