@@ -76,9 +76,10 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 # Lint: vet, formatting, and the repo's own analyzer suite (kairoslint:
-# hotalloc, lockguard, floatdet, wirejson — see CONTRIBUTING.md). Runs
-# from the module root; kairoslint walks the same package graph as the
-# build via `go list`.
+# per-package hotalloc/lockguard/floatdet/wirejson plus the whole-program
+# ctxflow/hotcall/lockorder/unitsafe call-graph checks — see
+# CONTRIBUTING.md). Runs from the module root; kairoslint walks the same
+# package graph as the build via `go list`, loading packages in parallel.
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

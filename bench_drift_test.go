@@ -7,6 +7,7 @@
 package kairos
 
 import (
+	"context"
 	"testing"
 
 	"kairos/internal/core"
@@ -31,7 +32,7 @@ func BenchmarkDriftWatch(b *testing.B) {
 	base := fleetProblem(fleet.All(), nil)
 	opt := core.DefaultSolveOptions()
 	opt.SkipDirect = true
-	prev, err := core.Solve(base, opt)
+	prev, err := core.Solve(context.Background(), base, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func BenchmarkDriftWatch(b *testing.B) {
 		var firstEvent *ReconsolidationEvent
 		recall := 0.0
 		for w, win := range windows {
-			ev, err := ar.Observe(win)
+			ev, err := ar.Observe(context.Background(), win)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -99,7 +100,7 @@ func BenchmarkDriftWatch(b *testing.B) {
 		cadenceInc := inc
 		for _, win := range windows {
 			p := &core.Problem{Workloads: win, Machines: base.Machines}
-			sol, err := core.Resolve(p, cadenceInc, wopt.Resolve)
+			sol, err := core.Resolve(context.Background(), p, cadenceInc, wopt.Resolve)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,7 +131,7 @@ func BenchmarkFigure7_ConsolidationRatios(b *testing.B) {
 		rows = rows[:0]
 		run := func(name string, f fleet.Fleet) {
 			p := fleetProblem(f, dp)
-			sol, err := core.Solve(p, core.DefaultSolveOptions())
+			sol, err := core.Solve(context.Background(), p, core.DefaultSolveOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -225,7 +226,7 @@ func BenchmarkFigure8_AggregateCPULoad(b *testing.B) {
 	var K int
 	for iter := 0; iter < b.N; iter++ {
 		p := fleetProblem(fleet.All(), dp)
-		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		sol, err := core.Solve(context.Background(), p, core.DefaultSolveOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -268,7 +269,7 @@ func BenchmarkFigure9_PerServerLoad(b *testing.B) {
 	for iter := 0; iter < b.N; iter++ {
 		p := fleetProblem(fleet.All(), dp)
 		var err error
-		sol, err = core.Solve(p, core.DefaultSolveOptions())
+		sol, err = core.Solve(context.Background(), p, core.DefaultSolveOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -474,7 +475,7 @@ func BenchmarkSolver_BoundedKSpeedup(b *testing.B) {
 
 		// Bounded-K pipeline (the paper's optimization).
 		start := time.Now()
-		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		sol, err := core.Solve(context.Background(), p, core.DefaultSolveOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -630,7 +631,7 @@ func BenchmarkAblation_GaugedVsOSReportedRAM(b *testing.B) {
 			for i := range machines {
 				machines[i] = fleet.TargetMachine(fmt.Sprintf("t%d", i), 50e6, 0.05)
 			}
-			sol, err := core.Solve(&core.Problem{Workloads: wls, Machines: machines},
+			sol, err := core.Solve(context.Background(), &core.Problem{Workloads: wls, Machines: machines},
 				core.DefaultSolveOptions())
 			if err != nil {
 				b.Fatal(err)
@@ -665,7 +666,7 @@ func BenchmarkAblation_SolverStrategies(b *testing.B) {
 		opts := core.DefaultSolveOptions()
 		opts.SkipDirect = true
 		start := time.Now()
-		sol, err := core.Solve(p, opts)
+		sol, err := core.Solve(context.Background(), p, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -673,7 +674,7 @@ func BenchmarkAblation_SolverStrategies(b *testing.B) {
 
 		opts = core.DefaultSolveOptions()
 		start = time.Now()
-		sol, err = core.Solve(p, opts)
+		sol, err = core.Solve(context.Background(), p, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -695,7 +696,7 @@ func BenchmarkAblation_BalanceObjective(b *testing.B) {
 	for iter := 0; iter < b.N; iter++ {
 		f := fleet.Generate(fleet.Internal)
 		p := fleetProblem(f, nil)
-		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		sol, err := core.Solve(context.Background(), p, core.DefaultSolveOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

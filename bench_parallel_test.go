@@ -11,6 +11,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -94,7 +95,7 @@ func BenchmarkSpeculativeKProbing(b *testing.B) {
 			opt := core.DefaultSolveOptions()
 			opt.Workers = workers
 			for i := 0; i < b.N; i++ {
-				sol, err := core.Solve(p, opt)
+				sol, err := core.Solve(context.Background(), p, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -125,7 +126,7 @@ func BenchmarkShardedFleetSolve(b *testing.B) {
 			var k int
 			for i := 0; i < b.N; i++ {
 				opt := core.ShardOptions{Shards: tc.shards, Options: core.ParallelSolveOptions()}
-				sol, err := core.SolveSharded(p, opt)
+				sol, err := core.SolveSharded(context.Background(), p, opt)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -6,6 +6,7 @@
 package kairos
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -46,7 +47,7 @@ func BenchmarkResolveWarmVsCold(b *testing.B) {
 	base := fleetProblem(fleet.All(), nil)
 	opt := core.DefaultSolveOptions()
 	opt.SkipDirect = true // fleet-scale solves use the local-search path
-	prev, err := core.Solve(base, opt)
+	prev, err := core.Solve(context.Background(), base, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func BenchmarkResolveWarmVsCold(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sol, err := core.Solve(drifted, opt)
+			sol, err := core.Solve(context.Background(), drifted, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -71,7 +72,7 @@ func BenchmarkResolveWarmVsCold(b *testing.B) {
 		b.ReportAllocs()
 		ropt := core.DefaultResolveOptions()
 		for i := 0; i < b.N; i++ {
-			sol, err := core.Resolve(drifted, inc, ropt)
+			sol, err := core.Resolve(context.Background(), drifted, inc, ropt)
 			if err != nil {
 				b.Fatal(err)
 			}

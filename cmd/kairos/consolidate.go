@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +79,7 @@ func cmdConsolidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := session.Consolidate()
+	plan, err := session.Consolidate(context.Background())
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -29,7 +30,7 @@ func cmdReport(args []string) error {
 			machines[i] = fleet.TargetMachine(fmt.Sprintf("t%d", i), 50e6, 0.05)
 		}
 		p := &core.Problem{Workloads: wls, Machines: machines}
-		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		sol, err := core.Solve(context.Background(), p, core.DefaultSolveOptions())
 		if err != nil {
 			return err
 		}

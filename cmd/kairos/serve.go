@@ -53,9 +53,14 @@ func cmdServe(args []string) error {
 	fmt.Fprintln(os.Stderr, "kairos: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	err := httpSrv.Shutdown(sctx)
-	if closeErr := cp.Close(); err == nil {
-		err = closeErr
+	// Close the control plane first: it cancels every reconcile loop's
+	// context, which aborts in-flight solves, so the HTTP drain below can
+	// finish within the grace window instead of waiting out a multi-second
+	// re-solve. Aborted ingests are answered 503 before their connections
+	// close.
+	err := cp.Close()
+	if shutErr := httpSrv.Shutdown(sctx); err == nil {
+		err = shutErr
 	}
 	if errors.Is(err, http.ErrServerClosed) {
 		err = nil

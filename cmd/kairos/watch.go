@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -114,7 +115,7 @@ func cmdWatch(args []string) error {
 		return err
 	}
 	if !seeded {
-		plan, err := session.Consolidate()
+		plan, err := session.Consolidate(context.Background())
 		if err != nil {
 			return err
 		}
@@ -127,7 +128,7 @@ func cmdWatch(args []string) error {
 		if err != nil {
 			return fmt.Errorf("watch: snapshot %s: %w", path, err)
 		}
-		ev, err := session.Observe(window)
+		ev, err := session.Observe(context.Background(), window)
 		if err != nil {
 			return fmt.Errorf("watch: snapshot %s: %w", path, err)
 		}

@@ -1,20 +1,24 @@
 // Command kairoslint is the repo's static-analysis multichecker: it runs
-// the internal/lint analyzer suite (floatdet, hotalloc, lockguard,
-// wirejson) over the named package patterns and exits non-zero on any
-// finding. Run it from the module root:
+// the internal/lint analyzer suite — the per-package checks (floatdet,
+// hotalloc, lockguard, wirejson, ctxflow) and the call-graph-backed
+// whole-program checks (lockorder, hotcall, unitsafe) — over the named
+// package patterns and exits non-zero on any finding. Run it from the
+// module root:
 //
 //	go run ./cmd/kairoslint ./...
 //
 // `make lint` and the CI lint job do exactly that. Suppress a single
-// finding with a //kairoslint:allow <analyzer> comment on its line; the
-// annotation conventions the analyzers enforce are documented in
-// CONTRIBUTING.md.
+// finding with a //kairoslint:allow <analyzer>: <reason> comment on its
+// line — the reason is mandatory, a waiver without one is itself a
+// finding. The annotation conventions the analyzers enforce are
+// documented in CONTRIBUTING.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	lint "kairos/internal/lint"
 	"kairos/internal/lint/driver"
@@ -22,6 +26,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "report load/analysis wall-clock to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: kairoslint [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -40,15 +45,24 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 	pkgs, err := driver.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kairoslint:", err)
 		os.Exit(2)
 	}
+	loaded := time.Now()
 	diags, err := driver.Run(pkgs, lint.Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kairoslint:", err)
 		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "kairoslint: %d packages loaded in %v, analyzed in %v (total %v)\n",
+			len(pkgs),
+			loaded.Sub(start).Round(time.Millisecond),
+			time.Since(loaded).Round(time.Millisecond),
+			time.Since(start).Round(time.Millisecond))
 	}
 	for _, d := range diags {
 		fmt.Println(d)

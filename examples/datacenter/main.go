@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		}
 		p := &core.Problem{Workloads: wls, Machines: machines, Disk: dp}
 
-		sol, err := core.Solve(p, core.DefaultSolveOptions())
+		sol, err := core.Solve(context.Background(), p, core.DefaultSolveOptions())
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}

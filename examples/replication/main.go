@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -91,7 +92,7 @@ func main() {
 		fleet = append(fleet, wl(fmt.Sprintf("tenant-%03d", i), cpu, 0.8))
 	}
 	start := time.Now()
-	ps, err := kairos.ConsolidatePartitioned(fleet, targets(120), nil,
+	ps, err := kairos.ConsolidatePartitioned(context.Background(), fleet, targets(120), nil,
 		kairos.Grouping{GroupSize: 20, Options: kairos.DefaultOptions()})
 	if err != nil {
 		log.Fatal(err)

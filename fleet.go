@@ -1,6 +1,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -157,20 +158,26 @@ func (f *Fleet) shardOptions() ShardOptions {
 // the session has no incumbent yet, a warm re-solve with migration
 // pricing when it does (WithIncumbent, or a previous Consolidate/trigger).
 // The result becomes the incumbent that Observe watches and future
-// triggers warm-start from.
-func (f *Fleet) Consolidate() (*Plan, error) {
+// triggers warm-start from. Cancelling ctx aborts the solve and returns
+// ctx.Err(); the session keeps its previous plan.
+func (f *Fleet) Consolidate(ctx context.Context) (*Plan, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	p := f.problem()
 	var sol *Solution
 	var err error
+	// The solver's internal worker-pool channels and WaitGroups run under
+	// f.mu by design: Consolidate serializes the session.
 	switch inc := f.incumbentLocked(); {
 	case inc != nil:
-		sol, err = core.Resolve(p, inc, f.cfg.resolve)
+		//kairoslint:allow lockorder: the solver's worker pool always drains; ctx aborts it on shutdown
+		sol, err = core.Resolve(ctx, p, inc, f.cfg.resolve)
 	case f.cfg.sharded:
-		sol, err = core.SolveSharded(p, f.shardOptions())
+		//kairoslint:allow lockorder: the solver's worker pool always drains; ctx aborts it on shutdown
+		sol, err = core.SolveSharded(ctx, p, f.shardOptions())
 	default:
-		sol, err = core.Solve(p, f.cfg.solve)
+		//kairoslint:allow lockorder: the solver's worker pool always drains; ctx aborts it on shutdown
+		sol, err = core.Solve(ctx, p, f.cfg.solve)
 	}
 	if err != nil {
 		return nil, err
@@ -259,7 +266,9 @@ func (f *Fleet) watchLoopLocked() (*AutoReconsolidator, error) {
 // returns (nil, nil) while the plan holds; when the drift detector fires
 // it re-solves warm from the incumbent on the forecast series, records
 // the event, and returns it. Safe to call from many collectors at once.
-func (f *Fleet) Observe(window []Workload) (*ReconsolidationEvent, error) {
+// Cancelling ctx aborts a triggered re-solve mid-flight and returns
+// ctx.Err(); the window still counts as consumed.
+func (f *Fleet) Observe(ctx context.Context, window []Workload) (*ReconsolidationEvent, error) {
 	f.mu.Lock()
 	ar, err := f.watchLoopLocked()
 	if err != nil {
@@ -269,7 +278,7 @@ func (f *Fleet) Observe(window []Workload) (*ReconsolidationEvent, error) {
 	// Release the session lock during the (possibly seconds-long) observe:
 	// the loop serializes on its own mutex, and Plan/Events stay readable.
 	f.mu.Unlock()
-	ev, err := ar.Observe(window)
+	ev, err := ar.Observe(ctx, window)
 	if err != nil || ev == nil {
 		return nil, err
 	}

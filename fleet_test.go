@@ -1,6 +1,7 @@
 package kairos
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -42,11 +43,11 @@ func TestFleetConsolidateMatchesCoreSolve(t *testing.T) {
 	if f.Plan() != nil || f.Incumbent() != nil {
 		t.Error("fresh session already has a plan")
 	}
-	plan, err := f.Consolidate()
+	plan, err := f.Consolidate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.Solve(&Problem{Workloads: wls, Machines: machines}, opt)
+	sol, err := core.Solve(context.Background(), &Problem{Workloads: wls, Machines: machines}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,15 +77,15 @@ func TestFleetObserveLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Observe(wls); err == nil {
+	if _, err := f.Observe(context.Background(), wls); err == nil {
 		t.Fatal("Observe before Consolidate accepted")
 	}
-	initial, err := f.Consolidate()
+	initial, err := f.Consolidate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		ev, err := f.Observe(scaleWorkloads(wls, 1.004))
+		ev, err := f.Observe(context.Background(), scaleWorkloads(wls, 1.004))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestFleetObserveLifecycle(t *testing.T) {
 	if st := f.Drift(); st.Windows != 2 || st.Triggers != 0 || st.LastTrigger != -1 {
 		t.Errorf("drift status after quiet windows = %+v", st)
 	}
-	ev, err := f.Observe(scaleWorkloads(wls, 1.12))
+	ev, err := f.Observe(context.Background(), scaleWorkloads(wls, 1.12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFleetWithIncumbentObserve(t *testing.T) {
 	if f.Incumbent() != inc {
 		t.Error("Incumbent() != seed before any observation")
 	}
-	ev, err := f.Observe(scaleWorkloads(wls, 1.15))
+	ev, err := f.Observe(context.Background(), scaleWorkloads(wls, 1.15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFleetWithIncumbentWarmConsolidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := f.Consolidate()
+	warm, err := f.Consolidate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestFleetShardedConsolidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := f.Consolidate()
+	plan, err := f.Consolidate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestAutoReconsolidatorConcurrentObserve(t *testing.T) {
 				if (c+i)%3 == 0 {
 					scale = 1.15
 				}
-				if _, err := ar.Observe(scaleWorkloads(wls, scale)); err != nil {
+				if _, err := ar.Observe(context.Background(), scaleWorkloads(wls, scale)); err != nil {
 					errs <- err
 					return
 				}
@@ -273,7 +274,7 @@ func TestFleetConcurrentObserve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Consolidate(); err != nil {
+	if _, err := f.Consolidate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -290,7 +291,7 @@ func TestFleetConcurrentObserve(t *testing.T) {
 				if (c+i)%4 == 0 {
 					scale = 1.12
 				}
-				if _, err := f.Observe(scaleWorkloads(wls, scale)); err != nil {
+				if _, err := f.Observe(context.Background(), scaleWorkloads(wls, scale)); err != nil {
 					errs <- err
 					return
 				}

@@ -224,11 +224,11 @@ func TestScreenedSolveEquivalence(t *testing.T) {
 	optOff := opt
 	optOff.BucketWidth = -1
 
-	solS, err := Solve(p, opt)
+	solS, err := Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	solU, err := Solve(p, optOff)
+	solU, err := Solve(context.Background(), p, optOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,11 +247,11 @@ func TestScreenedSolveEquivalence(t *testing.T) {
 	ropt.DirectFevals = 300
 	roptOff := ropt
 	roptOff.BucketWidth = -1
-	resS, err := Resolve(p, inc, ropt)
+	resS, err := Resolve(context.Background(), p, inc, ropt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resU, err := Resolve(p, inc, roptOff)
+	resU, err := Resolve(context.Background(), p, inc, roptOff)
 	if err != nil {
 		t.Fatal(err)
 	}

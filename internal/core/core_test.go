@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -178,7 +179,7 @@ func TestSolveTrivialConsolidation(t *testing.T) {
 		},
 		Machines: machines(4, 1, 16),
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestSolveRespectsCPUCapacity(t *testing.T) {
 		},
 		Machines: machines(5, 1, 64),
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestSolveRespectsRAM(t *testing.T) {
 		},
 		Machines: machines(4, 1, 48), // two 20 GB sets per 48 GB machine
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestSolveExploitsTimeVaryingLoad(t *testing.T) {
 		},
 		Machines: machines(2, 1.05, 16),
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestSolveExploitsTimeVaryingLoad(t *testing.T) {
 		},
 		Machines: machines(2, 1.05, 16),
 	}
-	sol2, err := Solve(p2, DefaultSolveOptions())
+	sol2, err := Solve(context.Background(), p2, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestSolveBalancesLoad(t *testing.T) {
 		wls = append(wls, flatWL(string(rune('a'+i)), 0.3, 1, n))
 	}
 	p := &Problem{Workloads: wls, Machines: machines(2, 1, 32)}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestReplicationAntiAffinity(t *testing.T) {
 		Workloads: []Workload{w},
 		Machines:  machines(4, 1, 16),
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestExplicitAntiAffinity(t *testing.T) {
 		Machines:     machines(3, 1, 16),
 		AntiAffinity: [][2]int{{0, 1}},
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +344,7 @@ func TestPinning(t *testing.T) {
 		Workloads: []Workload{a, flatWL("b", 0.1, 1, n)},
 		Machines:  machines(4, 1, 16),
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestFixedK(t *testing.T) {
 	}
 	opt := DefaultSolveOptions()
 	opt.FixedK = 2
-	sol, err := Solve(p, opt)
+	sol, err := Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestFixedK(t *testing.T) {
 		t.Errorf("FixedK: K = %d feasible=%v", sol.K, sol.Feasible)
 	}
 	opt.FixedK = 9
-	if _, err := Solve(p, opt); err == nil {
+	if _, err := Solve(context.Background(), p, opt); err == nil {
 		t.Error("FixedK beyond machine count accepted")
 	}
 }
@@ -392,12 +393,12 @@ func TestFixedKRejectsOutOfRangePin(t *testing.T) {
 	p := &Problem{Workloads: []Workload{a, b}, Machines: machines(5, 1, 16)}
 	opt := DefaultSolveOptions()
 	opt.FixedK = 2
-	if _, err := Solve(p, opt); err == nil {
+	if _, err := Solve(context.Background(), p, opt); err == nil {
 		t.Error("FixedK below a pinned machine index accepted")
 	}
 	// The pin fits when FixedK covers it.
 	opt.FixedK = 5
-	sol, err := Solve(p, opt)
+	sol, err := Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestInfeasibleBoundError(t *testing.T) {
 		},
 		Machines: machines(2, 1, 16),
 	}
-	if _, err := Solve(p, DefaultSolveOptions()); err == nil {
+	if _, err := Solve(context.Background(), p, DefaultSolveOptions()); err == nil {
 		t.Error("over-committed problem should fail the lower-bound check")
 	}
 }
@@ -450,14 +451,14 @@ func TestHeadroomTightensCapacity(t *testing.T) {
 			Machines:  ms,
 		}
 	}
-	sol, err := Solve(mk(0), DefaultSolveOptions())
+	sol, err := Solve(context.Background(), mk(0), DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.K != 1 {
 		t.Errorf("no headroom: K = %d, want 1 (0.98 total)", sol.K)
 	}
-	sol, err = Solve(mk(0.05), DefaultSolveOptions())
+	sol, err = Solve(context.Background(), mk(0.05), DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,7 +476,7 @@ func TestSkipDirectStillSolves(t *testing.T) {
 	p := &Problem{Workloads: wls, Machines: machines(6, 1, 16)}
 	opt := DefaultSolveOptions()
 	opt.SkipDirect = true
-	sol, err := Solve(p, opt)
+	sol, err := Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -585,11 +586,11 @@ func TestSolveDeterministic(t *testing.T) {
 		wls = append(wls, sineWL(string(rune('a'+i)), 0.2, 0.1, float64(i), 1.5, n))
 	}
 	p := &Problem{Workloads: wls, Machines: machines(5, 1, 16)}
-	s1, err := Solve(p, DefaultSolveOptions())
+	s1, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Solve(p, DefaultSolveOptions())
+	s2, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -623,7 +624,7 @@ func TestPropertySolutionsVerifiable(t *testing.T) {
 			wls = append(wls, w)
 		}
 		p := &Problem{Workloads: wls, Machines: machines(2*n, 1, 32)}
-		sol, err := Solve(p, DefaultSolveOptions())
+		sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 		if err != nil {
 			// Over-committed random instances are allowed to fail the
 			// lower-bound check; nothing to verify.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -89,8 +90,9 @@ func (ps *PartitionedSolution) ConsolidationRatio(originalServers int) float64 {
 // 7.5, total work grows linearly in the number of groups.
 //
 // Pinning and explicit anti-affinity refer to global indices and are not
-// supported here; replicas within one workload are.
-func SolvePartitioned(p *Problem, g Grouping) (*PartitionedSolution, error) {
+// supported here; replicas within one workload are. Cancelling ctx aborts
+// the solve after the current group and returns ctx.Err().
+func SolvePartitioned(ctx context.Context, p *Problem, g Grouping) (*PartitionedSolution, error) {
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -125,7 +127,7 @@ func SolvePartitioned(p *Problem, g Grouping) (*PartitionedSolution, error) {
 			Disk:      p.Disk,
 			Weights:   p.Weights,
 		}
-		sol, err := Solve(sub, g.Options)
+		sol, err := Solve(ctx, sub, g.Options)
 		if err != nil {
 			return nil, fmt.Errorf("core: group %d: %w", len(out.Groups), err)
 		}

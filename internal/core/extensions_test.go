@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -49,14 +50,14 @@ func TestSLATightensPacking(t *testing.T) {
 		}
 		return &Problem{Workloads: []Workload{a, b}, Machines: machines(3, 1, 64)}
 	}
-	sol, err := Solve(mk(false), DefaultSolveOptions())
+	sol, err := Solve(context.Background(), mk(false), DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.K != 1 {
 		t.Errorf("without SLA: K = %d, want 1", sol.K)
 	}
-	sol, err = Solve(mk(true), DefaultSolveOptions())
+	sol, err = Solve(context.Background(), mk(true), DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSLAOnlyConstrainsItsMachine(t *testing.T) {
 	strict.SLA = &LatencySLA{MaxSlowdown: 1.25} // ≤20% utilization
 	hot := flatWL("hot", 0.8, 1, n)
 	p := &Problem{Workloads: []Workload{strict, hot}, Machines: machines(3, 1, 64)}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestReplicaLoadScaleApplied(t *testing.T) {
 	db.ReplicaLoadScale = []float64{1, 0.1}
 	other := flatWL("other", 0.35, 1, n)
 	p := &Problem{Workloads: []Workload{db, other}, Machines: machines(3, 1, 64)}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestSolvePartitionedMatchesWholeOnSeparableInput(t *testing.T) {
 		wls = append(wls, flatWL(string(rune('a'+i)), 0.45, 1, n))
 	}
 	p := &Problem{Workloads: wls, Machines: machines(12, 1, 64)}
-	whole, err := Solve(p, DefaultSolveOptions())
+	whole, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, err := SolvePartitioned(p, Grouping{GroupSize: 4, Options: DefaultSolveOptions()})
+	part, err := SolvePartitioned(context.Background(), p, Grouping{GroupSize: 4, Options: DefaultSolveOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestSolvePartitionedCanLoseOpportunities(t *testing.T) {
 		wls = append(wls, sineWL(string(rune('a'+i)), 0.5, 0.3, phase, 1, n))
 	}
 	p := &Problem{Workloads: wls, Machines: machines(6, 1.05, 64)}
-	whole, err := Solve(p, DefaultSolveOptions())
+	whole, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestSolvePartitionedCanLoseOpportunities(t *testing.T) {
 	// Deliberately group (a,c),(b,d) by reordering: same-phase pairs.
 	reordered := []Workload{wls[0], wls[2], wls[1], wls[3]}
 	p2 := &Problem{Workloads: reordered, Machines: machines(6, 1.05, 64)}
-	part, err := SolvePartitioned(p2, Grouping{GroupSize: 2, Options: DefaultSolveOptions()})
+	part, err := SolvePartitioned(context.Background(), p2, Grouping{GroupSize: 2, Options: DefaultSolveOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,13 +205,13 @@ func TestSolvePartitionedCanLoseOpportunities(t *testing.T) {
 func TestSolvePartitionedValidation(t *testing.T) {
 	n := 12
 	p := &Problem{Workloads: []Workload{flatWL("a", 0.2, 1, n)}, Machines: machines(2, 1, 16)}
-	if _, err := SolvePartitioned(p, Grouping{GroupSize: 0}); err == nil {
+	if _, err := SolvePartitioned(context.Background(), p, Grouping{GroupSize: 0}); err == nil {
 		t.Error("zero group size accepted")
 	}
 	pinned := flatWL("p", 0.2, 1, n)
 	pinned.PinTo = 1
 	p2 := &Problem{Workloads: []Workload{pinned}, Machines: machines(2, 1, 16)}
-	if _, err := SolvePartitioned(p2, Grouping{GroupSize: 1}); err == nil {
+	if _, err := SolvePartitioned(context.Background(), p2, Grouping{GroupSize: 1}); err == nil {
 		t.Error("pinned workload accepted")
 	}
 	p3 := &Problem{
@@ -218,7 +219,7 @@ func TestSolvePartitionedValidation(t *testing.T) {
 		Machines:     machines(2, 1, 16),
 		AntiAffinity: [][2]int{{0, 1}},
 	}
-	if _, err := SolvePartitioned(p3, Grouping{GroupSize: 1}); err == nil {
+	if _, err := SolvePartitioned(context.Background(), p3, Grouping{GroupSize: 1}); err == nil {
 		t.Error("anti-affinity accepted")
 	}
 }
@@ -230,7 +231,7 @@ func TestSolvePartitionedRunsOutOfMachines(t *testing.T) {
 		wls = append(wls, flatWL(string(rune('a'+i)), 0.9, 1, n))
 	}
 	p := &Problem{Workloads: wls, Machines: machines(2, 1, 16)}
-	if _, err := SolvePartitioned(p, Grouping{GroupSize: 1, Options: DefaultSolveOptions()}); err == nil {
+	if _, err := SolvePartitioned(context.Background(), p, Grouping{GroupSize: 1, Options: DefaultSolveOptions()}); err == nil {
 		t.Error("expected machine exhaustion error")
 	}
 }
@@ -248,7 +249,7 @@ func TestSolvePartitionedScalesLinearly(t *testing.T) {
 	opts := DefaultSolveOptions()
 	opts.DirectFevals = 200
 	start := time.Now()
-	part, err := SolvePartitioned(p, Grouping{GroupSize: 10, Options: opts})
+	part, err := SolvePartitioned(context.Background(), p, Grouping{GroupSize: 10, Options: opts})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -502,7 +502,7 @@ func (ev *Evaluator) evalScratch(K int) [][]int {
 //kairos:hotpath
 func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 	ev.Fevals++
-	members := ev.evalScratch(K)
+	members := ev.evalScratch(K) //kairoslint:allow hotcall: allocates only on first growth; steady state is alloc-free and AllocsPerRun-asserted
 	feasible = true
 	for u, j := range assign {
 		if j < 0 || j >= K {
@@ -510,7 +510,7 @@ func (ev *Evaluator) Eval(assign []int, K int) (obj float64, feasible bool) {
 			feasible = false
 			continue
 		}
-		members[j] = append(members[j], u) //kairoslint:allow hotalloc (amortized: scratch keeps capacity across Evals)
+		members[j] = append(members[j], u) //kairoslint:allow hotalloc: amortized — scratch keeps capacity across Evals
 		if ev.pin[u] >= 0 && ev.pin[u] != j {
 			obj += penaltyWeight
 			feasible = false

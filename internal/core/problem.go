@@ -72,14 +72,18 @@ type Machine struct {
 	Name string
 	// CPUCapacity is in target-machine units: 1.0 means exactly one
 	// standard target machine.
+	//kairos:unit TargetCPU
 	CPUCapacity float64
 	// RAMBytes is the physical memory available to the DBMS.
+	//kairos:unit Bytes
 	RAMBytes float64
 	// DiskWriteBps is the disk write budget (bytes/sec) the machine can
 	// sustain, measured in the same terms the disk profile predicts.
+	//kairos:unit Bps
 	DiskWriteBps float64
 	// Headroom is the fraction of every resource kept free as a safety
 	// margin (the paper uses 5–10%).
+	//kairos:unit Frac
 	Headroom float64
 }
 

@@ -404,8 +404,9 @@ func PriceIncumbent(p *Problem, inc *Incumbent) (obj float64, feasible bool, K i
 // Solution.Objective is the canonical consolidation objective (no
 // migration term), so warm and cold plans are directly comparable;
 // Solution.Migrated and Solution.MigrationCost report the migration side.
-// Deterministic for any SolveOptions.Workers value.
-func Resolve(p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
+// Deterministic for any SolveOptions.Workers value. Cancelling ctx aborts
+// the re-solve between pricing units and returns ctx.Err().
+func Resolve(ctx context.Context, p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
 	start := time.Now()
 	if inc == nil || inc.K <= 0 || len(inc.Units) == 0 {
 		return nil, fmt.Errorf("core: Resolve needs a non-empty incumbent plan")
@@ -422,7 +423,6 @@ func Resolve(p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
 
 	seed, home := ev.warmSeed(p, inc, K)
 	mig := ev.newMigration(home, opt)
-	ctx := context.Background()
 	const rounds = 100
 
 	type cand struct {
@@ -474,6 +474,9 @@ func Resolve(p *Problem, inc *Incumbent, opt SolveOptions) (*Solution, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sol := ev.finish(p, assign, K, obj, feas, start)
 	sol.Migrated, sol.MigrationCost = mig.tally(assign)
 	return sol, nil

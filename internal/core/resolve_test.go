@@ -44,7 +44,7 @@ func TestResolveWarmVsColdDrift(t *testing.T) {
 	rng := rand.New(rand.NewSource(1234))
 	p := randomLoadStateProblem(rng, 24, 24, false)
 	opt := DefaultSolveOptions()
-	prev, err := Solve(p, opt)
+	prev, err := Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,13 +54,13 @@ func TestResolveWarmVsColdDrift(t *testing.T) {
 	inc := IncumbentFromSolution(p, prev)
 
 	drifted := driftProblem(p, 0.05, 42)
-	cold, err := Solve(drifted, opt) // full cold solve: DIRECT + local search
+	cold, err := Solve(context.Background(), drifted, opt) // full cold solve: DIRECT + local search
 	if err != nil {
 		t.Fatal(err)
 	}
 	sdOpt := opt
 	sdOpt.SkipDirect = true
-	coldLocal, err := Solve(drifted, sdOpt) // like-for-like cold local search
+	coldLocal, err := Solve(context.Background(), drifted, sdOpt) // like-for-like cold local search
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestResolveWarmVsColdDrift(t *testing.T) {
 	// local-search plan outright.
 	freeOpt := DefaultResolveOptions()
 	freeOpt.MigrationWeight = 0
-	free, err := Resolve(drifted, inc, freeOpt)
+	free, err := Resolve(context.Background(), drifted, inc, freeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestResolveWarmVsColdDrift(t *testing.T) {
 
 	// Sticky warm re-solve (default migration weight): near-cold quality at
 	// a bounded migration fraction.
-	sticky, err := Resolve(drifted, inc, DefaultResolveOptions())
+	sticky, err := Resolve(context.Background(), drifted, inc, DefaultResolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestResolveWarmVsColdDrift(t *testing.T) {
 func TestIncumbentSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	p := randomLoadStateProblem(rng, 10, 12, false)
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestIncumbentSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Zero drift: the incumbent is already a move+swap-stable plan, so the
 	// re-solve must keep every unit at home.
-	warm, err := Resolve(p, loaded, DefaultResolveOptions())
+	warm, err := Resolve(context.Background(), p, loaded, DefaultResolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestIncumbentSaveLoadRoundTrip(t *testing.T) {
 func TestResolveMatchesByName(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	p := randomLoadStateProblem(rng, 12, 12, false)
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestResolveMatchesByName(t *testing.T) {
 	for i, j := range order {
 		perm.Workloads[i] = p.Workloads[j]
 	}
-	warm, err := Resolve(&perm, inc, DefaultResolveOptions())
+	warm, err := Resolve(context.Background(), &perm, inc, DefaultResolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestResolveMatchesByName(t *testing.T) {
 func TestResolveHonorsMigrationCap(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	p := randomLoadStateProblem(rng, 16, 16, false)
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestResolveHonorsMigrationCap(t *testing.T) {
 
 	opt := DefaultResolveOptions()
 	opt.MaxMigrations = 3
-	warm, err := Resolve(drifted, inc, opt)
+	warm, err := Resolve(context.Background(), drifted, inc, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestResolveHonorsMigrationCap(t *testing.T) {
 func TestResolveHandlesFleetChanges(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	p := randomLoadStateProblem(rng, 14, 12, false)
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestResolveHandlesFleetChanges(t *testing.T) {
 			PinTo:    -1,
 		})
 	}
-	warm, err := Resolve(&next, inc, DefaultResolveOptions())
+	warm, err := Resolve(context.Background(), &next, inc, DefaultResolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestResolveHandlesFleetChanges(t *testing.T) {
 func TestResolveDeterministicAcrossWorkers(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p := randomLoadStateProblem(rng, 12, 12, false)
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +294,11 @@ func TestResolveDeterministicAcrossWorkers(t *testing.T) {
 	opt1.Workers = 1
 	opt8 := DefaultResolveOptions()
 	opt8.Workers = 8
-	w1, err := Resolve(drifted, inc, opt1)
+	w1, err := Resolve(context.Background(), drifted, inc, opt1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w8, err := Resolve(drifted, inc, opt8)
+	w8, err := Resolve(context.Background(), drifted, inc, opt8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,10 +312,10 @@ func TestResolveDeterministicAcrossWorkers(t *testing.T) {
 func TestResolveRejectsEmptyIncumbent(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p := randomLoadStateProblem(rng, 6, 8, false)
-	if _, err := Resolve(p, nil, DefaultResolveOptions()); err == nil {
+	if _, err := Resolve(context.Background(), p, nil, DefaultResolveOptions()); err == nil {
 		t.Error("nil incumbent accepted")
 	}
-	if _, err := Resolve(p, &Incumbent{}, DefaultResolveOptions()); err == nil {
+	if _, err := Resolve(context.Background(), p, &Incumbent{}, DefaultResolveOptions()); err == nil {
 		t.Error("empty incumbent accepted")
 	}
 }
@@ -380,7 +380,7 @@ func TestResolveMatchesMachinesByName(t *testing.T) {
 		Workloads: []Workload{mkw("a", 0.9), mkw("b", 0.8), mkw("c", 0.4), mkw("d", 0.3)},
 		Machines:  []Machine{big, small},
 	}
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestResolveMatchesMachinesByName(t *testing.T) {
 	// Same fleet, machines listed in the opposite order.
 	perm := *p
 	perm.Machines = []Machine{small, big}
-	warm, err := Resolve(&perm, inc, DefaultResolveOptions())
+	warm, err := Resolve(context.Background(), &perm, inc, DefaultResolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +419,7 @@ func TestResolveMatchesMachinesByName(t *testing.T) {
 func TestResolvePinChangeNotCountedAsMigration(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	p := randomLoadStateProblem(rng, 10, 12, false)
-	sol, err := Solve(p, DefaultSolveOptions())
+	sol, err := Solve(context.Background(), p, DefaultSolveOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +438,7 @@ func TestResolvePinChangeNotCountedAsMigration(t *testing.T) {
 
 	opt := DefaultResolveOptions()
 	opt.MaxMigrations = 1
-	warm, err := Resolve(&next, inc, opt)
+	warm, err := Resolve(context.Background(), &next, inc, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +464,7 @@ func TestPriceIncumbent(t *testing.T) {
 	p := randomLoadStateProblem(rng, 16, 24, false)
 	opt := DefaultSolveOptions()
 	opt.SkipDirect = true
-	sol, err := Solve(p, opt)
+	sol, err := Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +491,7 @@ func TestPriceIncumbent(t *testing.T) {
 	}
 	ropt := DefaultResolveOptions()
 	ropt.MigrationWeight = 0
-	warm, err := Resolve(drifted, inc, ropt)
+	warm, err := Resolve(context.Background(), drifted, inc, ropt)
 	if err != nil {
 		t.Fatal(err)
 	}

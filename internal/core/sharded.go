@@ -77,8 +77,9 @@ func (o ShardOptions) shardCount(n int) int {
 // When all machines are identical the shards solve fully concurrently and
 // their plans are relabelled onto disjoint machine ranges; a heterogeneous
 // machine list falls back to solving shards in sequence, each against the
-// machines the previous shards left unused.
-func SolveSharded(p *Problem, opt ShardOptions) (*Solution, error) {
+// machines the previous shards left unused. Cancelling ctx aborts every
+// in-flight shard solve and the merge pass, returning ctx.Err().
+func SolveSharded(ctx context.Context, p *Problem, opt ShardOptions) (*Solution, error) {
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -93,7 +94,7 @@ func SolveSharded(p *Problem, opt ShardOptions) (*Solution, error) {
 	}
 	nShards := opt.shardCount(len(p.Workloads))
 	if nShards <= 1 {
-		return Solve(p, opt.Options)
+		return Solve(ctx, p, opt.Options)
 	}
 
 	shards := correlationShards(p, nShards)
@@ -122,7 +123,7 @@ func SolveSharded(p *Problem, opt ShardOptions) (*Solution, error) {
 		for k, w := range shards[i] {
 			sub.Workloads[k] = p.Workloads[w]
 		}
-		sol, err := Solve(sub, shardOpt)
+		sol, err := Solve(ctx, sub, shardOpt)
 		if err != nil {
 			err = fmt.Errorf("core: shard %d: %w", i, err)
 		}
@@ -229,12 +230,12 @@ func SolveSharded(p *Problem, opt ShardOptions) (*Solution, error) {
 		if rounds == 0 {
 			rounds = DefaultRebalanceRounds
 		}
-		assign, _, _ = mergeEv.hillClimbRounds(context.Background(), assign, K, rounds)
+		assign, _, _ = mergeEv.hillClimbRounds(ctx, assign, K, rounds)
 		if homogeneous {
 			if reduced, rk := mergeEv.reduceK(assign, K); rk < K {
 				// Reduction packs greedily; re-balance the tighter plan.
 				assign, K = reduced, rk
-				assign, _, _ = mergeEv.hillClimbRounds(context.Background(), assign, K, rounds)
+				assign, _, _ = mergeEv.hillClimbRounds(ctx, assign, K, rounds)
 			}
 		}
 	}
@@ -242,6 +243,9 @@ func SolveSharded(p *Problem, opt ShardOptions) (*Solution, error) {
 		return nil, fmt.Errorf("core: sharded plan needs %d machines after merging but only %d exist", K, len(p.Machines))
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	obj, feas := ev.Eval(assign, K)
 	if mergeEv != ev {
 		fevals += mergeEv.Fevals

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -51,14 +52,14 @@ func samePlan(t *testing.T, a, b *core.Solution, label string) {
 // changes wall-clock time.
 func TestParallelSolveMatchesSequential(t *testing.T) {
 	p := fleetCase(fleet.Internal)
-	seq, err := core.Solve(p, shortBudget(core.DefaultSolveOptions()))
+	seq, err := core.Solve(context.Background(), p, shortBudget(core.DefaultSolveOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4} {
 		opt := shortBudget(core.DefaultSolveOptions())
 		opt.Workers = workers
-		par, err := core.Solve(p, opt)
+		par, err := core.Solve(context.Background(), p, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,11 +71,11 @@ func TestParallelSolveMatchesSequential(t *testing.T) {
 func TestParallelSolveDeterministic(t *testing.T) {
 	p := fleetCase(fleet.Wikia)
 	opt := shortBudget(core.ParallelSolveOptions())
-	r1, err := core.Solve(p, opt)
+	r1, err := core.Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := core.Solve(p, opt)
+	r2, err := core.Solve(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,12 +87,12 @@ func TestParallelSolveDeterministic(t *testing.T) {
 // back the machines independent shard solves waste.
 func TestSolveShardedQuality(t *testing.T) {
 	p := fleetCase(fleet.SecondLife)
-	whole, err := core.Solve(p, shortBudget(core.DefaultSolveOptions()))
+	whole, err := core.Solve(context.Background(), p, shortBudget(core.DefaultSolveOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := core.ShardOptions{Shards: 4, Options: shortBudget(core.ParallelSolveOptions())}
-	sharded, err := core.SolveSharded(p, opt)
+	sharded, err := core.SolveSharded(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +116,11 @@ func TestSolveShardedQuality(t *testing.T) {
 func TestSolveShardedDeterministic(t *testing.T) {
 	p := fleetCase(fleet.Wikipedia)
 	opt := core.ShardOptions{Shards: 3, Options: shortBudget(core.ParallelSolveOptions())}
-	r1, err := core.SolveSharded(p, opt)
+	r1, err := core.SolveSharded(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := core.SolveSharded(p, opt)
+	r2, err := core.SolveSharded(context.Background(), p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +130,11 @@ func TestSolveShardedDeterministic(t *testing.T) {
 // A single shard (or tiny input) degenerates to the plain solver.
 func TestSolveShardedSingleShard(t *testing.T) {
 	p := fleetCase(fleet.Internal)
-	whole, err := core.Solve(p, shortBudget(core.DefaultSolveOptions()))
+	whole, err := core.Solve(context.Background(), p, shortBudget(core.DefaultSolveOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := core.SolveSharded(p, core.ShardOptions{Shards: 1, Options: shortBudget(core.SolveOptions{})})
+	sharded, err := core.SolveSharded(context.Background(), p, core.ShardOptions{Shards: 1, Options: shortBudget(core.SolveOptions{})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestSolveShardedHeterogeneousMachines(t *testing.T) {
 			p.Machines[i].RAMBytes *= 2
 		}
 	}
-	sol, err := core.SolveSharded(p, core.ShardOptions{Shards: 3, Options: shortBudget(core.DefaultSolveOptions())})
+	sol, err := core.SolveSharded(context.Background(), p, core.ShardOptions{Shards: 3, Options: shortBudget(core.DefaultSolveOptions())})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,12 +167,12 @@ func TestSolveShardedHeterogeneousMachines(t *testing.T) {
 func TestSolveShardedRejectsGlobalConstraints(t *testing.T) {
 	p := fleetCase(fleet.Internal)
 	p.AntiAffinity = [][2]int{{0, 1}}
-	if _, err := core.SolveSharded(p, core.ShardOptions{Shards: 2}); err == nil {
+	if _, err := core.SolveSharded(context.Background(), p, core.ShardOptions{Shards: 2}); err == nil {
 		t.Error("explicit anti-affinity accepted")
 	}
 	p = fleetCase(fleet.Internal)
 	p.Workloads[0].PinTo = 0
-	if _, err := core.SolveSharded(p, core.ShardOptions{Shards: 2}); err == nil {
+	if _, err := core.SolveSharded(context.Background(), p, core.ShardOptions{Shards: 2}); err == nil {
 		t.Error("pinned workload accepted")
 	}
 }
@@ -198,7 +199,7 @@ func TestSolveShardedReclaimsOvershoot(t *testing.T) {
 		machines[i] = core.Machine{Name: fmt.Sprintf("m%d", i), CPUCapacity: 1, RAMBytes: 32e9}
 	}
 	p := &core.Problem{Workloads: wls, Machines: machines}
-	sol, err := core.SolveSharded(p, core.ShardOptions{Shards: 3, Options: core.ParallelSolveOptions()})
+	sol, err := core.SolveSharded(context.Background(), p, core.ShardOptions{Shards: 3, Options: core.ParallelSolveOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestSolveShardedKeepsReplicaAntiAffinity(t *testing.T) {
 		machines[i] = core.Machine{Name: fmt.Sprintf("m%d", i), CPUCapacity: 1, RAMBytes: 32e9}
 	}
 	p := &core.Problem{Workloads: wls, Machines: machines}
-	sol, err := core.SolveSharded(p, core.ShardOptions{Shards: 3, Options: core.ParallelSolveOptions()})
+	sol, err := core.SolveSharded(context.Background(), p, core.ShardOptions{Shards: 3, Options: core.ParallelSolveOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}

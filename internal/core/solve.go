@@ -84,7 +84,9 @@ type kCandidate struct {
 // Solve finds a consolidation plan: the minimum feasible machine count K'
 // via binary search between the fractional lower bound and the greedy upper
 // bound, then the most balanced assignment on K' machines (paper Section 6).
-func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
+// Cancelling ctx aborts the solve between pricing units and returns
+// ctx.Err(); the partial state is discarded.
+func Solve(ctx context.Context, p *Problem, opt SolveOptions) (*Solution, error) {
 	start := time.Now()
 	ev, err := NewEvaluator(p)
 	if err != nil {
@@ -99,7 +101,6 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 	if opt.PolishFevals <= 0 {
 		opt.PolishFevals = 2 * opt.DirectFevals
 	}
-	ctx := context.Background()
 
 	maxK := len(p.Machines)
 	lo := ev.FractionalLowerBound()
@@ -126,6 +127,9 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 			}
 		}
 		assign, objv, feas := ev.solveK(ctx, opt.FixedK, opt, true)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return ev.finish(p, assign, opt.FixedK, objv, feas, start), nil
 	}
 
@@ -143,7 +147,7 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 	// a budgeted solve; the search keeps the best feasible solution found.
 	var found *kCandidate
 	if opt.workers() > 1 {
-		found = ev.searchKSpeculative(lo, hi, opt, &lo)
+		found = ev.searchKSpeculative(ctx, lo, hi, opt, &lo)
 	} else {
 		for lo < hi {
 			mid := (lo + hi) / 2
@@ -173,6 +177,9 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return ev.finish(p, assign, kStar, objv, feas, start), nil
 }
 
@@ -184,8 +191,9 @@ func Solve(p *Problem, opt SolveOptions) (*Solution, error) {
 // probes is exactly the sequential binary search's, and every probe is a
 // deterministic function of its K, so the outcome (including Fevals, which
 // only counts consumed probes) is identical to the sequential path. The
-// final interval low bound is written to *loOut.
-func (ev *Evaluator) searchKSpeculative(lo, hi int, opt SolveOptions, loOut *int) *kCandidate {
+// final interval low bound is written to *loOut. Probe contexts derive
+// from the caller's ctx, so cancelling it aborts every in-flight probe.
+func (ev *Evaluator) searchKSpeculative(ctx context.Context, lo, hi int, opt SolveOptions, loOut *int) *kCandidate {
 	type probeRes struct {
 		assign []int
 		obj    float64
@@ -205,11 +213,11 @@ func (ev *Evaluator) searchKSpeculative(lo, hi int, opt SolveOptions, loOut *int
 		probeOpt.Workers = 1
 	}
 	launch := func(K int) *future {
-		ctx, cancel := context.WithCancel(context.Background())
+		pctx, cancel := context.WithCancel(ctx)
 		f := &future{cancel: cancel, ch: make(chan probeRes, 1)}
 		pe := ev.Clone()
 		go func() {
-			a, o, feas := pe.solveK(ctx, K, probeOpt, false)
+			a, o, feas := pe.solveK(pctx, K, probeOpt, false)
 			f.ch <- probeRes{a, o, feas, pe.Fevals}
 		}()
 		return f
@@ -538,8 +546,8 @@ func (ev *Evaluator) hillClimbRounds(ctx context.Context, assign []int, K int, m
 func (ev *Evaluator) hillClimbMig(ctx context.Context, assign []int, K int, maxRounds int, mig *migration) ([]int, float64, bool) {
 	ls := NewLoadState(ev, assign, K)
 	for rounds := 0; rounds < maxRounds && ctx.Err() == nil; rounds++ {
-		if !ev.sweepMoves(ls, K, mig) {
-			if !ev.sweepSwaps(ls, K, mig) {
+		if !ev.sweepMoves(ctx, ls, K, mig) {
+			if !ev.sweepSwaps(ctx, ls, K, mig) {
 				break
 			}
 		}
@@ -595,10 +603,15 @@ func (ev *Evaluator) bestMove(ls *LoadState, u, K int, mig *migration) int {
 }
 
 // sweepMoves runs one best-improvement sweep of single-unit moves, applying
-// improving moves as it goes. Reports whether anything moved.
-func (ev *Evaluator) sweepMoves(ls *LoadState, K int, mig *migration) bool {
+// improving moves as it goes. Reports whether anything moved. A cancelled
+// ctx stops the sweep between units, bounding abort latency by one unit's
+// O(K·T) pricing rather than a whole sweep.
+func (ev *Evaluator) sweepMoves(ctx context.Context, ls *LoadState, K int, mig *migration) bool {
 	improved := false
 	for u := 0; u < ls.NumUnits(); u++ {
+		if ctx.Err() != nil {
+			return false
+		}
 		if ev.pin[u] >= 0 {
 			continue
 		}
@@ -616,12 +629,15 @@ func (ev *Evaluator) sweepMoves(ls *LoadState, K int, mig *migration) bool {
 // unit, the best partner on another machine is found by pricing both sides
 // of the exchange as two O(T) LoadState deltas, and the best strictly
 // improving swap per unit is applied immediately. Reports whether any swap
-// was applied.
-func (ev *Evaluator) sweepSwaps(ls *LoadState, K int, mig *migration) bool {
+// was applied. A cancelled ctx stops the sweep between units.
+func (ev *Evaluator) sweepSwaps(ctx context.Context, ls *LoadState, K int, mig *migration) bool {
 	improved := false
 	n := ls.NumUnits()
 	screen := ls.Screened()
 	for u := 0; u < n; u++ {
+		if ctx.Err() != nil {
+			return false
+		}
 		if ev.pin[u] >= 0 {
 			continue
 		}

@@ -29,12 +29,16 @@ import (
 // Params describes the physical characteristics of a simulated disk.
 type Params struct {
 	// SeqWriteMBps is the sustained sequential write bandwidth in MB/s.
+	//kairos:unit MBps
 	SeqWriteMBps float64
 	// SeqReadMBps is the sustained sequential read bandwidth in MB/s.
+	//kairos:unit MBps
 	SeqReadMBps float64
 	// FullSeekMs is the full-stroke seek time in milliseconds.
+	//kairos:unit Ms
 	FullSeekMs float64
 	// TrackToTrackMs is the minimum (adjacent-track) seek time in ms.
+	//kairos:unit Ms
 	TrackToTrackMs float64
 	// RPM is the spindle speed; rotational latency is derived from it.
 	RPM float64

@@ -14,14 +14,14 @@ import "math"
 // perturbation MUST flip the result. NaN is never Same as anything,
 // matching ==.
 func Same(a, b float64) bool {
-	return a == b //kairoslint:allow floatdet
+	return a == b //kairoslint:allow floatdet: this is the canonical exact-equality helper
 }
 
 // Near reports |a-b| <= tol. NaN operands are never Near; infinities of
 // equal sign are Near regardless of tol.
 func Near(a, b, tol float64) bool {
 	if math.IsInf(a, 0) || math.IsInf(b, 0) {
-		return a == b //kairoslint:allow floatdet
+		return a == b //kairoslint:allow floatdet: infinities compare exactly by design
 	}
 	return math.Abs(a-b) <= tol
 }

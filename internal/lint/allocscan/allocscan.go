@@ -1,0 +1,145 @@
+// Package allocscan detects allocating constructs in a function body —
+// the detection engine shared by the hotalloc analyzer (which applies it
+// to //kairos:hotpath functions directly) and the hotcall analyzer
+// (which uses it to prove unannotated callees alloc-free over the call
+// graph). The construct list is hotalloc's contract; see that package's
+// doc comment for the rationale behind each entry.
+package allocscan
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Finding is one allocating construct at a position.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Body returns every allocating construct in body, in walk order. panic
+// calls and their arguments are exempt: a panicking path is already
+// cold. Closure bodies are NOT descended into — the closure allocation
+// itself is the finding, and when it runs is not this body's concern.
+func Body(info *types.Info, body ast.Node) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: pos, Message: msg})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch types.Unalias(info.TypeOf(n)).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates in hot path")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates in hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "address-of composite literal allocates in hot path")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates in hot path")
+			return false // its body only runs if the closure survives; one report suffices
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates in hot path")
+		case *ast.CallExpr:
+			return checkCall(info, n, report)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall reports allocation by one call; the return value tells the
+// walk whether to descend into the call's children.
+func checkCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) bool {
+	// Conversions: T(x) boxing a concrete value into an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isIface(tv.Type) && !isIface(info.TypeOf(call.Args[0])) {
+			report(call.Pos(), "conversion to interface allocates in hot path")
+		}
+		return true
+	}
+	// Builtins.
+	if name, ok := builtinName(info, call.Fun); ok {
+		switch name {
+		case "make":
+			report(call.Pos(), "make allocates in hot path")
+		case "new":
+			report(call.Pos(), "new allocates in hot path")
+		case "append":
+			report(call.Pos(), "append may grow its backing array in hot path")
+		case "panic":
+			// Cold by definition: the guard-clause panics in the pricers
+			// pay their fmt.Sprintf only on the failure path.
+			return false
+		}
+		return true
+	}
+	sig, ok := types.Unalias(info.TypeOf(call.Fun)).Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				param = sig.Params().At(np - 1).Type() // xs... passes the slice through
+			} else {
+				param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+			}
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		argType := info.TypeOf(arg)
+		if isIface(param) && !isIface(argType) && !isUntypedNil(argType) {
+			report(arg.Pos(), "implicit conversion to interface allocates in hot path")
+		}
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		report(call.Pos(), "variadic call allocates its argument slice in hot path")
+	}
+	return true
+}
+
+// builtinName resolves fun to a builtin's name when it is one.
+func builtinName(info *types.Info, fun ast.Expr) (string, bool) {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+func isIface(t types.Type) bool {
+	return t != nil && types.IsInterface(types.Unalias(t))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -11,11 +11,12 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // Analyzer describes one static check: a name (used in output and in
 // //kairoslint:allow suppressions), documentation, and the Run function
-// invoked once per package.
+// invoked once per package. Exactly one of Run and RunProgram is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppression
 	// comments. It must be a valid Go identifier.
@@ -26,6 +27,12 @@ type Analyzer struct {
 	// pass.Report; the result value is unused by this driver and exists
 	// for upstream signature compatibility.
 	Run func(*Pass) (any, error)
+	// RunProgram, when set, makes this a whole-program analyzer: the
+	// driver calls it once with every loaded package instead of calling
+	// Run per package. Checks that need cross-package context — anything
+	// built on the call graph — live here. Diagnostics go through
+	// prog.Report.
+	RunProgram func(*Program) error
 }
 
 // Pass holds one type-checked package and the reporting sink for one
@@ -51,4 +58,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+}
+
+// Program hands a whole-program analyzer (Analyzer.RunProgram) every
+// loaded package at once. All packages share one FileSet, so
+// token.Position strings are stable program-wide identities — the call
+// graph and the annotation indexes key on them.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*ProgramPackage
+	// Report delivers one diagnostic, exactly like Pass.Report: the
+	// driver applies //kairoslint:allow suppressions after this call, so
+	// analyzers report unconditionally. The driver points it at the
+	// current analyzer's sink before each RunProgram call.
+	Report func(Diagnostic)
+
+	memoMu sync.Mutex
+	memo   map[any]any
+}
+
+// ProgramPackage is one type-checked package inside a Program. Test
+// units (package foo_test) appear as their own entries.
+type ProgramPackage struct {
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Program) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Memo returns the value cached under key, building it on first use. The
+// driver reuses one Program across the whole analyzer suite, so
+// expensive shared artifacts — the call graph — are built once and read
+// by every program analyzer through this.
+func (p *Program) Memo(key any, build func() any) any {
+	p.memoMu.Lock()
+	defer p.memoMu.Unlock()
+	if p.memo == nil {
+		p.memo = map[any]any{}
+	}
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := build()
+	p.memo[key] = v
+	return v
 }

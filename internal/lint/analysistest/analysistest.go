@@ -77,14 +77,7 @@ func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 
 	expects := collectWants(t, fset, files)
 	supp := lintutil.NewSuppressions(fset, files)
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-	}
-	pass.Report = func(d analysis.Diagnostic) {
+	report := func(d analysis.Diagnostic) {
 		if supp.Allowed(d.Pos, a.Name) {
 			return
 		}
@@ -100,8 +93,31 @@ func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 		}
 		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	if a.RunProgram != nil {
+		// Whole-program analyzer: wrap the fixture as a one-package
+		// Program, exactly how the driver wraps the real tree.
+		prog := &analysis.Program{
+			Fset: fset,
+			Packages: []*analysis.ProgramPackage{
+				{Path: pkgPath, Files: files, Pkg: pkg, TypesInfo: info},
+			},
+			Report: report,
+		}
+		if err := a.RunProgram(prog); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+	} else {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    report,
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
 	}
 	for _, ex := range expects {
 		if !ex.matched {

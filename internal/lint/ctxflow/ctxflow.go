@@ -1,0 +1,161 @@
+// Package ctxflow enforces the repo's context-threading discipline, the
+// contract that lets `kairos serve` shutdown cancel in-flight solves:
+//
+//   - Library code (any non-main package) must not call
+//     context.Background() or context.TODO(): the context comes from the
+//     caller, all the way down from the entry point that owns it.
+//     Test files are exempt — a test IS an entry point. Deliberate roots
+//     (deprecated wrappers, a server's lifecycle context) carry a
+//     //kairoslint:allow ctxflow: <reason> waiver.
+//   - A function that HAS a context.Context parameter must thread it:
+//     calling context.Background()/TODO() there is always a bug, in any
+//     package — the fresh context silently detaches the callee from the
+//     caller's cancellation. (These sites are exactly how the solver
+//     stack ignored `kairos serve -grace` before the Solve/Resolve/
+//     SolveSharded signatures grew a ctx.)
+//   - A function whose context parameter is entirely unused while some
+//     callee accepts a context has dropped the thread — reported at the
+//     declaration.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "ctxflow",
+	Doc:        "requires context.Context to be threaded, not re-rooted with context.Background",
+	RunProgram: run,
+}
+
+func run(prog *analysis.Program) error {
+	g := callgraph.Of(prog)
+	var nodes []*callgraph.Node
+	for _, n := range g.Nodes {
+		if n.Decl != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		checkNode(prog, n)
+	}
+	return nil
+}
+
+func checkNode(prog *analysis.Program, n *callgraph.Node) {
+	pos := prog.Fset.Position(n.Decl.Pos())
+	inTest := strings.HasSuffix(pos.Filename, "_test.go")
+	inMain := n.Pkg.Pkg.Name() == "main"
+	hasCtx, ctxParams := ctxParamsOf(n)
+
+	// Roots: context.Background()/TODO() calls in the body.
+	if !inTest {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := rootCtxCall(n.Pkg.TypesInfo, call)
+			if name == "" {
+				return true
+			}
+			switch {
+			case hasCtx:
+				prog.Reportf(call.Pos(), "%s discards the function's ctx parameter — thread it instead", name)
+			case !inMain:
+				prog.Reportf(call.Pos(), "%s in library code — accept a context.Context and thread the caller's", name)
+			}
+			return true
+		})
+	}
+
+	// Dropped thread: ctx parameter never used, yet a callee accepts one.
+	if inTest || !hasCtx {
+		return
+	}
+	used := false
+	for _, p := range ctxParams {
+		if p.Name() == "_" {
+			used = true // explicitly discarded; lockguard-style conventions don't apply
+			break
+		}
+		for _, obj := range n.Pkg.TypesInfo.Uses {
+			if obj == p {
+				used = true
+				break
+			}
+		}
+		if used {
+			break
+		}
+	}
+	if used {
+		return
+	}
+	for _, e := range n.Out {
+		if e.InPanic || !acceptsCtx(e.Callee.Func) {
+			continue
+		}
+		prog.Reportf(n.Decl.Pos(), "ctx parameter is unused, but callee %s accepts a context — the thread is dropped here",
+			e.Callee.Func.Name())
+		return
+	}
+}
+
+// ctxParamsOf returns the function's context.Context parameters.
+func ctxParamsOf(n *callgraph.Node) (bool, []*types.Var) {
+	sig := n.Func.Type().(*types.Signature)
+	var out []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			out = append(out, sig.Params().At(i))
+		}
+	}
+	return len(out) > 0, out
+}
+
+// rootCtxCall matches context.Background() / context.TODO(), returning
+// the rendered name or "".
+func rootCtxCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return "context." + fn.Name() + "()"
+	}
+	return ""
+}
+
+// acceptsCtx reports whether any parameter of fn is a context.Context.
+func acceptsCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxfix", "ctxmain")
+}

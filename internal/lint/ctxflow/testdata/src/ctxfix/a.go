@@ -1,0 +1,50 @@
+// Package ctxfix exercises ctxflow: re-rooting in library code,
+// discarding a ctx parameter, dropping the thread entirely, the proper
+// threading patterns that stay silent, and the waiver escape hatch.
+package ctxfix
+
+import "context"
+
+func acceptor(ctx context.Context) error { return ctx.Err() }
+
+// libraryRoot re-roots in library code: the caller's cancellation can
+// never reach acceptor.
+func libraryRoot() error {
+	return acceptor(context.Background()) // want "library code"
+}
+
+// discards has a ctx parameter but hands the callee a fresh root.
+func discards(ctx context.Context) error {
+	_ = ctx.Err()
+	return acceptor(context.TODO()) // want "discards the function's ctx parameter"
+}
+
+// threads passes its ctx straight through: silent.
+func threads(ctx context.Context) error {
+	return acceptor(ctx)
+}
+
+// derived threads a context derived from its parameter: silent.
+func derived(ctx context.Context) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return acceptor(c)
+}
+
+// dropped never touches its ctx although its callee accepts one.
+func dropped(ctx context.Context) error { // want "thread is dropped"
+	return acceptor(context.TODO()) // want "discards the function's ctx parameter"
+}
+
+// waivedRoot is a deliberate root with its reason on record.
+func waivedRoot() error {
+	return acceptor(context.Background()) //kairoslint:allow ctxflow: deliberate session root for the fixture
+}
+
+// noCtxCallees uses no context at all: silent.
+func noCtxCallees(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

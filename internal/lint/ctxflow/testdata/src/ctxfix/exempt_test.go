@@ -1,0 +1,8 @@
+package ctxfix
+
+import "context"
+
+// Test files are entry points: re-rooting here is idiomatic and silent.
+func testHelper() error {
+	return acceptor(context.Background())
+}

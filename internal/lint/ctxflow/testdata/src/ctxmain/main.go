@@ -1,0 +1,19 @@
+// Command ctxmain exercises ctxflow's main-package rules: an entry
+// point may create the root context, but a function that already has a
+// ctx parameter must still thread it.
+package main
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func main() {
+	// Entry points own the root: silent.
+	_ = run(context.Background())
+}
+
+// helper has a ctx and discards it — a bug even in package main.
+func helper(ctx context.Context) error {
+	_ = ctx.Err()
+	return run(context.Background()) // want "discards the function's ctx parameter"
+}

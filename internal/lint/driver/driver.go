@@ -17,7 +17,9 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 
 	"kairos/internal/lint/analysis"
 	"kairos/internal/lint/lintutil"
@@ -46,41 +48,96 @@ type listedPackage struct {
 // Load enumerates the packages matching patterns (relative to the current
 // working directory, which must be inside the module) and type-checks
 // them. Test files are included: the analyzers' contracts bind tests too.
+//
+// Units are checked concurrently on a worker pool. The FileSet is shared
+// (its methods are synchronized) and the source importer is serialized
+// behind a mutex, so the parallel win is each unit's own parse and
+// type-check; the output slice is ordered by unit discovery order,
+// independent of scheduling.
 func Load(patterns []string) ([]*Package, error) {
 	listed, err := goList(patterns)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	imp := lintutil.NewImporter(fset)
-	var pkgs []*Package
+	type unit struct {
+		path  string
+		dir   string
+		names []string
+	}
+	var units []unit
 	for _, lp := range listed {
-		units := [][]string{append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)}
-		paths := []string{lp.ImportPath}
-		if len(lp.XTestGoFiles) > 0 {
-			units = append(units, lp.XTestGoFiles)
-			paths = append(paths, lp.ImportPath+"_test")
+		base := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		if len(base) > 0 {
+			units = append(units, unit{path: lp.ImportPath, dir: lp.Dir, names: base})
 		}
-		for i, names := range units {
-			if len(names) == 0 {
-				continue
-			}
-			files := make([]*ast.File, len(names))
-			for j, name := range names {
-				f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if len(lp.XTestGoFiles) > 0 {
+			units = append(units, unit{path: lp.ImportPath + "_test", dir: lp.Dir, names: lp.XTestGoFiles})
+		}
+	}
+	fset := token.NewFileSet()
+	imp := &lockedImporter{imp: lintutil.NewImporter(fset)}
+	pkgs := make([]*Package, len(units))
+	errs := make([]error, len(units))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, loadWorkers())
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u unit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			files := make([]*ast.File, len(u.names))
+			for j, name := range u.names {
+				f, err := parser.ParseFile(fset, filepath.Join(u.dir, name), nil, parser.ParseComments)
 				if err != nil {
-					return nil, err
+					errs[i] = err
+					return
 				}
 				files[j] = f
 			}
-			tpkg, info, err := lintutil.TypeCheck(fset, imp, paths[i], files)
+			tpkg, info, err := lintutil.TypeCheck(fset, imp, u.path, files)
 			if err != nil {
-				return nil, fmt.Errorf("type-checking %s: %w", paths[i], err)
+				errs[i] = fmt.Errorf("type-checking %s: %w", u.path, err)
+				return
 			}
-			pkgs = append(pkgs, &Package{Path: paths[i], Fset: fset, Files: files, Types: tpkg, Info: info})
+			pkgs[i] = &Package{Path: u.path, Fset: fset, Files: files, Types: tpkg, Info: info}
+		}(i, u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return pkgs, nil
+}
+
+func loadWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8 // past this the serialized importer is the bottleneck
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// lockedImporter serializes the stdlib source importer, which caches
+// behind plain maps and is not safe for concurrent ImportFrom calls.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.ImportFrom(path, dir, mode)
 }
 
 // goList shells out to `go list -json` for the patterns.
@@ -118,35 +175,114 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Run applies every analyzer to every package, drops suppressed findings,
-// and returns the rest sorted by position.
+// Run applies every analyzer to every package, drops suppressed
+// findings, and returns the rest sorted by position. Per-package
+// analyzers run concurrently across packages; whole-program analyzers
+// (RunProgram) run afterwards, sequentially, over one shared Program so
+// memoized artifacts like the call graph are built once. Malformed
+// //kairoslint:allow directives (no ": <reason>") are reported as
+// findings of the pseudo-analyzer `allow` — and are not themselves
+// suppressible.
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	var pkgAs, progAs []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			progAs = append(progAs, a)
+		} else {
+			pkgAs = append(pkgAs, a)
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, loadWorkers())
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			supp := lintutil.NewSuppressions(pkg.Fset, pkg.Files)
+			for _, bw := range supp.Bad() {
+				perPkg[i] = append(perPkg[i], Diagnostic{
+					Analyzer: "allow",
+					Pos:      pkg.Fset.Position(bw.Pos),
+					Message:  fmt.Sprintf("waiver needs a reason: want //kairoslint:allow <analyzers>: <reason>, got //%s", bw.Text),
+				})
+			}
+			for _, a := range pkgAs {
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+				}
+				name := a.Name
+				pass.Report = func(d analysis.Diagnostic) {
+					if supp.Allowed(d.Pos, name) {
+						return
+					}
+					perPkg[i] = append(perPkg[i], Diagnostic{
+						Analyzer: name,
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				}
+				if _, err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+					return
+				}
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		supp := lintutil.NewSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
+	for _, diags := range perPkg {
+		out = append(out, diags...)
+	}
+
+	if len(progAs) > 0 {
+		fset := pkgs[0].Fset
+		prog := &analysis.Program{Fset: fset}
+		var allFiles []*ast.File
+		for _, pkg := range pkgs {
+			prog.Packages = append(prog.Packages, &analysis.ProgramPackage{
+				Path:      pkg.Path,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-			}
-			pass.Report = func(d analysis.Diagnostic) {
-				if supp.Allowed(d.Pos, a.Name) {
+			})
+			allFiles = append(allFiles, pkg.Files...)
+		}
+		supp := lintutil.NewSuppressions(fset, allFiles)
+		for _, a := range progAs {
+			name := a.Name
+			prog.Report = func(d analysis.Diagnostic) {
+				if supp.Allowed(d.Pos, name) {
 					return
 				}
 				out = append(out, Diagnostic{
-					Analyzer: a.Name,
-					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: name,
+					Pos:      fset.Position(d.Pos),
 					Message:  d.Message,
 				})
 			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			if err := a.RunProgram(prog); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 			}
 		}
 	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {

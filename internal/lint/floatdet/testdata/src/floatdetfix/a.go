@@ -33,5 +33,5 @@ func ordered(a, b float64) bool {
 }
 
 func waived(a, b float64) bool {
-	return a == b //kairoslint:allow floatdet (bit-identity proven upstream)
+	return a == b //kairoslint:allow floatdet: bit-identity proven upstream
 }

@@ -10,7 +10,7 @@
 //   - make and new calls
 //   - append calls — growth cannot be ruled out statically; appends into
 //     scratch whose capacity is retained across calls carry a
-//     //kairoslint:allow hotalloc comment
+//     //kairoslint:allow hotalloc: <reason> comment
 //   - function literals (closures capture by reference and escape)
 //   - string concatenation
 //   - implicit conversions to interface parameters and explicit
@@ -21,13 +21,15 @@
 // panic calls and their arguments are exempt: a panicking hot path is
 // already cold, and the guard-clause panics in loadstate.go format their
 // message lazily only on the failure path.
+//
+// The detection engine lives in internal/lint/allocscan, shared with the
+// hotcall analyzer, which closes the same contract over the call graph.
 package hotalloc
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
 
+	"kairos/internal/lint/allocscan"
 	"kairos/internal/lint/analysis"
 	"kairos/internal/lint/lintutil"
 )
@@ -48,126 +50,10 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fd.Body == nil || !lintutil.HasMarker(fd.Doc, Marker) {
 				continue
 			}
-			checkBody(pass, fd.Body)
+			for _, fnd := range allocscan.Body(pass.TypesInfo, fd.Body) {
+				pass.Reportf(fnd.Pos, "%s", fnd.Message)
+			}
 		}
 	}
 	return nil, nil
-}
-
-// checkBody reports every allocating construct in one hot function body.
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CompositeLit:
-			switch types.Unalias(pass.TypesInfo.TypeOf(n)).Underlying().(type) {
-			case *types.Map:
-				pass.Reportf(n.Pos(), "map literal allocates in hot path")
-			case *types.Slice:
-				pass.Reportf(n.Pos(), "slice literal allocates in hot path")
-			}
-		case *ast.UnaryExpr:
-			if n.Op == token.AND {
-				if _, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "address-of composite literal allocates in hot path")
-				}
-			}
-		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure allocates in hot path")
-			return false // its body only runs if the closure survives; one report suffices
-		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
-				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
-			}
-		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "go statement allocates in hot path")
-		case *ast.CallExpr:
-			return checkCall(pass, n)
-		}
-		return true
-	})
-}
-
-// checkCall reports allocation by one call; the return value tells the
-// walk whether to descend into the call's children.
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	// Conversions: T(x) boxing a concrete value into an interface.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		if len(call.Args) == 1 && isIface(tv.Type) && !isIface(pass.TypesInfo.TypeOf(call.Args[0])) {
-			pass.Reportf(call.Pos(), "conversion to interface allocates in hot path")
-		}
-		return true
-	}
-	// Builtins.
-	if name, ok := builtinName(pass, call.Fun); ok {
-		switch name {
-		case "make":
-			pass.Reportf(call.Pos(), "make allocates in hot path")
-		case "new":
-			pass.Reportf(call.Pos(), "new allocates in hot path")
-		case "append":
-			pass.Reportf(call.Pos(), "append may grow its backing array in hot path")
-		case "panic":
-			// Cold by definition: the guard-clause panics in the pricers
-			// pay their fmt.Sprintf only on the failure path.
-			return false
-		}
-		return true
-	}
-	sig, ok := types.Unalias(pass.TypesInfo.TypeOf(call.Fun)).Underlying().(*types.Signature)
-	if !ok {
-		return true
-	}
-	np := sig.Params().Len()
-	for i, arg := range call.Args {
-		var param types.Type
-		switch {
-		case sig.Variadic() && i >= np-1:
-			if call.Ellipsis != token.NoPos {
-				param = sig.Params().At(np - 1).Type() // xs... passes the slice through
-			} else {
-				param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
-			}
-		case i < np:
-			param = sig.Params().At(i).Type()
-		default:
-			continue
-		}
-		argType := pass.TypesInfo.TypeOf(arg)
-		if isIface(param) && !isIface(argType) && !isUntypedNil(argType) {
-			pass.Reportf(arg.Pos(), "implicit conversion to interface allocates in hot path")
-		}
-	}
-	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
-		pass.Reportf(call.Pos(), "variadic call allocates its argument slice in hot path")
-	}
-	return true
-}
-
-// builtinName resolves fun to a builtin's name when it is one.
-func builtinName(pass *analysis.Pass, fun ast.Expr) (string, bool) {
-	id, ok := fun.(*ast.Ident)
-	if !ok {
-		return "", false
-	}
-	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
-		return b.Name(), true
-	}
-	return "", false
-}
-
-func isIface(t types.Type) bool {
-	return t != nil && types.IsInterface(types.Unalias(t))
-}
-
-func isString(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	b, ok := types.Unalias(t).Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
-}
-
-func isUntypedNil(t types.Type) bool {
-	b, ok := t.(*types.Basic)
-	return ok && b.Kind() == types.UntypedNil
 }

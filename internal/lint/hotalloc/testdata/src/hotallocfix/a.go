@@ -54,7 +54,7 @@ func (s *sink) hotGuarded(n int, name string, xs []int) int {
 	if n < 0 {
 		panic(fmt.Sprintf("negative %d for %s", n, "x"+name))
 	}
-	s.buf = append(s.buf, n) //kairoslint:allow hotalloc (capacity retained)
+	s.buf = append(s.buf, n) //kairoslint:allow hotalloc: capacity retained
 	takesAny(nil)            // untyped nil boxes no value
 	return sum(xs...)
 }

@@ -1,0 +1,128 @@
+// Package hotcall closes the //kairos:hotpath contract over the call
+// graph. hotalloc proves an annotated function's own body allocation
+// free; hotcall proves the same for everything the function calls: a
+// hot function may only call
+//
+//   - another //kairos:hotpath function (itself checked by both
+//     analyzers), or
+//   - a function the whole-program fixpoint proves alloc-free — its
+//     body has no allocating construct (per allocscan) and every
+//     callee, transitively, is itself proven, or
+//   - a leaf from a trusted package (math, math/bits, sync/atomic)
+//     whose body lives outside the program.
+//
+// Calls through function values and interface dispatch with no proven
+// target cannot be closed statically and are reported; a deliberate
+// exception carries //kairoslint:allow hotcall: <reason>.
+//
+// Edges spawned with go, reached only on panic paths, or inside
+// non-invoked function literals are skipped — they are not on the hot
+// path (the go statement itself is already hotalloc's finding).
+package hotcall
+
+import (
+	"go/token"
+	"sort"
+
+	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/callgraph"
+	"kairos/internal/lint/hotalloc"
+	"kairos/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "hotcall",
+	Doc:        "requires //kairos:hotpath functions to call only hot or provably alloc-free callees",
+	RunProgram: run,
+}
+
+// provenLeafPkgs hold functions that are alloc-free by construction;
+// their bodies are outside the program, so the fixpoint takes them on
+// faith.
+var provenLeafPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+func run(prog *analysis.Program) error {
+	g := callgraph.Of(prog)
+
+	hot := map[*callgraph.Node]bool{}
+	for _, n := range g.Nodes {
+		if n.Decl != nil && lintutil.HasMarker(n.Decl.Doc, hotalloc.Marker) {
+			hot[n] = true
+		}
+	}
+	proven := provenAllocFree(g, hot)
+
+	hotNodes := make([]*callgraph.Node, 0, len(hot))
+	for n := range hot {
+		hotNodes = append(hotNodes, n)
+	}
+	sort.Slice(hotNodes, func(i, j int) bool { return hotNodes[i].ID < hotNodes[j].ID })
+
+	for _, n := range hotNodes {
+		reported := map[token.Pos]bool{} // one finding per call site, however many dynamic targets
+		for _, e := range n.Out {
+			if e.Go || e.InPanic || e.InClosure || reported[e.Pos] {
+				continue
+			}
+			c := e.Callee
+			if hot[c] || proven[c] || trustedLeaf(c) {
+				continue
+			}
+			reported[e.Pos] = true
+			prog.Reportf(e.Pos, "hot path calls %s, which is neither //kairos:hotpath nor provably alloc-free",
+				c.Func.FullName())
+		}
+		for _, p := range n.Unresolved {
+			prog.Reportf(p, "hot path calls through a function value, which cannot be proven alloc-free")
+		}
+	}
+	return nil
+}
+
+// provenAllocFree computes the greatest fixpoint of "alloc-free all the
+// way down": start from every declared function whose body allocscan
+// finds clean, then strip any candidate with an unresolvable call or an
+// on-path edge to a function that is neither a surviving candidate, a
+// hot function, nor a trusted leaf. Mutual recursion among clean
+// functions survives, which is exactly why this runs as a greatest
+// rather than least fixpoint.
+func provenAllocFree(g *callgraph.Graph, hot map[*callgraph.Node]bool) map[*callgraph.Node]bool {
+	cand := map[*callgraph.Node]bool{}
+	for _, n := range g.Nodes {
+		if n.Decl != nil && len(n.Allocs) == 0 && len(n.Unresolved) == 0 {
+			cand[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for n := range cand {
+			for _, e := range n.Out {
+				if e.Go || e.InPanic {
+					continue
+				}
+				c := e.Callee
+				if cand[c] || hot[c] || trustedLeaf(c) {
+					continue
+				}
+				delete(cand, n)
+				changed = true
+				break
+			}
+		}
+	}
+	return cand
+}
+
+// trustedLeaf reports whether the node is a body-less function from a
+// package on the alloc-free whitelist.
+func trustedLeaf(n *callgraph.Node) bool {
+	if n.Decl != nil {
+		return false
+	}
+	pkg := n.Func.Pkg()
+	return pkg != nil && provenLeafPkgs[pkg.Path()]
+}

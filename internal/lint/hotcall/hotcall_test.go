@@ -1,0 +1,12 @@
+package hotcall_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/hotcall"
+)
+
+func TestHotcall(t *testing.T) {
+	analysistest.Run(t, "testdata", hotcall.Analyzer, "hotfix")
+}

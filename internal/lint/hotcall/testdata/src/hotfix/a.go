@@ -1,0 +1,83 @@
+// Package hotfix exercises hotcall: clean transitive closures stay
+// silent, allocating callees are reported wherever they hide in the
+// chain, trusted leaves and cold paths pass, and waivers work.
+package hotfix
+
+import "math"
+
+// helperClean is alloc-free and calls nothing: proven by the fixpoint.
+func helperClean(x float64) float64 { return x * 2 }
+
+//kairos:hotpath
+func hotRoot(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += helperClean(x)
+	}
+	return s
+}
+
+// grow allocates (append), so nothing that reaches it is proven.
+func grow(xs []float64) []float64 { return append(xs, 1) }
+
+// viaWrapper is itself clean but calls grow: stripped by the fixpoint.
+func viaWrapper(xs []float64) float64 { return float64(len(grow(xs))) }
+
+//kairos:hotpath
+func hotCallsDirty(xs []float64) float64 {
+	return float64(len(grow(xs))) // want "neither"
+}
+
+//kairos:hotpath
+func hotTransitive(xs []float64) float64 {
+	return viaWrapper(xs) // want "neither"
+}
+
+//kairos:hotpath
+func hotLeaf(x float64) float64 { return x + 1 }
+
+//kairos:hotpath
+func hotCallsHot(x float64) float64 { return hotLeaf(x) }
+
+//kairos:hotpath
+func hotMath(x float64) float64 { return math.Sqrt(x) }
+
+// fib is mutually clean with itself: recursion survives the greatest
+// fixpoint.
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+//kairos:hotpath
+func hotRecursive(n int) int { return fib(n) }
+
+//kairos:hotpath
+func hotFuncValue(f func(float64) float64, x float64) float64 {
+	return f(x) // want "function value"
+}
+
+//kairos:hotpath
+func hotDefer(xs []float64) float64 {
+	defer grow(xs) // want "neither"
+	return 0
+}
+
+// formatBad allocates (string concatenation) but is only reached on a
+// panic path: cold by definition.
+func formatBad(x float64) string { return string(rune(int(x))) + "!" }
+
+//kairos:hotpath
+func hotPanic(x float64) float64 {
+	if x < 0 {
+		panic(formatBad(x))
+	}
+	return x
+}
+
+//kairos:hotpath
+func hotWaived(xs []float64) float64 {
+	return viaWrapper(xs) //kairoslint:allow hotcall: warm-up call, measured off the hot loop
+}

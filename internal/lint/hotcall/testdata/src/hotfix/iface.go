@@ -1,0 +1,21 @@
+package hotfix
+
+// Pricer dispatch cannot be closed statically: the abstract method has
+// no body to prove, so a hot caller is reported even when every
+// program implementation happens to be clean.
+type Pricer interface {
+	Price(x float64) float64
+}
+
+type Flat struct{ C float64 }
+
+func (f Flat) Price(x float64) float64 { return f.C }
+
+type Padded struct{}
+
+func (Padded) Price(x float64) float64 { return float64(len(grow(nil))) + x }
+
+//kairos:hotpath
+func hotIface(p Pricer, x float64) float64 {
+	return p.Price(x) // want "neither"
+}

@@ -4,22 +4,38 @@
 // analyzer lives in its own subpackage with an analysistest fixture
 // suite; cmd/kairoslint is the multichecker binary and `make lint` runs
 // it over ./...
+//
+// The suite has two tiers. Per-package analyzers (floatdet, hotalloc,
+// lockguard, wirejson) see one package at a time and run in parallel
+// across packages. Whole-program analyzers (ctxflow, hotcall,
+// lockorder, unitsafe) run over the interprocedural call graph built by
+// internal/lint/callgraph, closing contracts that no single package can
+// prove: lock acquisition order, context threading, transitive
+// allocation freedom, and unit consistency.
 package lint
 
 import (
 	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/ctxflow"
 	"kairos/internal/lint/floatdet"
 	"kairos/internal/lint/hotalloc"
+	"kairos/internal/lint/hotcall"
 	"kairos/internal/lint/lockguard"
+	"kairos/internal/lint/lockorder"
+	"kairos/internal/lint/unitsafe"
 	"kairos/internal/lint/wirejson"
 )
 
 // Analyzers returns the full suite in output order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
 		floatdet.Analyzer,
 		hotalloc.Analyzer,
+		hotcall.Analyzer,
 		lockguard.Analyzer,
+		lockorder.Analyzer,
+		unitsafe.Analyzer,
 		wirejson.Analyzer,
 	}
 }

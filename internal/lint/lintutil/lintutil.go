@@ -51,8 +51,13 @@ func GuardedBy(groups ...*ast.CommentGroup) (mutex string, ok bool) {
 }
 
 // allowPrefix introduces a line suppression: a comment of the form
-// "//kairoslint:allow name1 name2" on the same line as a diagnostic
-// silences those analyzers there.
+// "//kairoslint:allow name1 name2: reason" on the same line as a
+// diagnostic silences those analyzers there; a directive standing alone
+// on its own line (no code before it) silences the line below, for call
+// sites too long to carry a trailing comment. The reason after the
+// colon is mandatory — a directive without one still suppresses (so the
+// original finding is not double-reported) but is itself surfaced
+// through Bad and reported by the driver as an `allow` finding.
 const allowPrefix = "kairoslint:allow"
 
 // Suppressions indexes the //kairoslint:allow comments of a package so
@@ -61,6 +66,15 @@ type Suppressions struct {
 	fset *token.FileSet
 	// byLine maps file/line to the analyzer names allowed there.
 	byLine map[suppKey]map[string]bool
+	bad    []BadWaiver
+}
+
+// BadWaiver is a //kairoslint:allow directive that violates the waiver
+// grammar: missing the mandatory ": <reason>" tail, or naming no
+// analyzer before it.
+type BadWaiver struct {
+	Pos  token.Pos
+	Text string
 }
 
 type suppKey struct {
@@ -72,21 +86,39 @@ type suppKey struct {
 func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	s := &Suppressions{fset: fset, byLine: map[suppKey]map[string]bool{}}
 	for _, f := range files {
+		codeLines := linesWithCode(fset, f)
 		for _, g := range f.Comments {
 			for _, c := range g.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				if !strings.HasPrefix(text, allowPrefix) {
 					continue
 				}
-				pos := fset.Position(c.Pos())
-				key := suppKey{file: pos.Filename, line: pos.Line}
-				names := s.byLine[key]
-				if names == nil {
-					names = map[string]bool{}
-					s.byLine[key] = names
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ':' {
+					continue // some other directive, e.g. kairoslint:allowfoo
 				}
-				for _, name := range strings.Fields(strings.TrimPrefix(text, allowPrefix)) {
-					names[name] = true
+				nameList, reason, hasReason := strings.Cut(rest, ":")
+				names := strings.Fields(nameList)
+				if !hasReason || strings.TrimSpace(reason) == "" || len(names) == 0 {
+					s.bad = append(s.bad, BadWaiver{Pos: c.Pos(), Text: text})
+				}
+				pos := fset.Position(c.Pos())
+				lines := []int{pos.Line}
+				if !codeLines[pos.Line] {
+					// The directive stands alone on its line: it waives
+					// the line below it.
+					lines = append(lines, pos.Line+1)
+				}
+				for _, line := range lines {
+					key := suppKey{file: pos.Filename, line: line}
+					allowed := s.byLine[key]
+					if allowed == nil {
+						allowed = map[string]bool{}
+						s.byLine[key] = allowed
+					}
+					for _, name := range names {
+						allowed[name] = true
+					}
 				}
 			}
 		}
@@ -94,7 +126,33 @@ func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	return s
 }
 
-// Allowed reports whether the analyzer is suppressed on pos's line.
+// linesWithCode returns the set of lines on which some non-comment
+// syntax node begins or ends — the lines a trailing comment can share
+// with code. A comment on any other line stands alone.
+func linesWithCode(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()-1).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Bad returns the malformed allow directives found in the scanned files,
+// in encounter order. The driver turns each into an `allow` finding — a
+// waiver without a reason is itself a violation.
+func (s *Suppressions) Bad() []BadWaiver { return s.bad }
+
+// Allowed reports whether the analyzer is suppressed on pos's line,
+// either by a trailing directive there or by a standalone directive on
+// the line above.
 func (s *Suppressions) Allowed(pos token.Pos, analyzer string) bool {
 	p := s.fset.Position(pos)
 	return s.byLine[suppKey{file: p.Filename, line: p.Line}][analyzer]

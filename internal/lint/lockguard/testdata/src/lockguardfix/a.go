@@ -54,7 +54,7 @@ func (c *counter) incLocked() { c.n++ }
 func (c *counter) sum() int { return c.n }
 
 func (c *counter) waived() int {
-	return c.n //kairoslint:allow lockguard (snapshot tolerates a torn read)
+	return c.n //kairoslint:allow lockguard: snapshot tolerates a torn read
 }
 
 func (g *gauge) Read() float64 {

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorderfix")
+}

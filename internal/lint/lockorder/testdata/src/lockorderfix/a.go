@@ -1,0 +1,96 @@
+// Package lockorderfix exercises lockorder: acquisition-order cycles
+// (direct and through callees), self-deadlocks, blocking operations
+// under annotated mutexes, the go-statement and unlock-first
+// exemptions, and the //kairoslint:allow escape hatch.
+package lockorderfix
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type B struct {
+	mu sync.Mutex
+	m  int // guarded by mu
+}
+
+// ab and ba acquire the two locks in opposite orders: every edge of the
+// cycle is a potential deadlock.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// again re-acquires a lock it already holds.
+func again(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want "already held"
+}
+
+// sendWhileLocked blocks on a channel under the lock.
+func sendWhileLocked(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- a.n // want "channel send while holding"
+	a.mu.Unlock()
+}
+
+// sendAfterUnlock releases first: silent.
+func sendAfterUnlock(a *A, ch chan int) {
+	a.mu.Lock()
+	n := a.n
+	a.mu.Unlock()
+	ch <- n
+}
+
+// waitWhileLocked reaches the known-blocking stdlib surface.
+func waitWhileLocked(a *A, wg *sync.WaitGroup) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	wg.Wait() // want "may block"
+}
+
+func blocksInside(ch chan int) int {
+	return <-ch
+}
+
+// callBlocker reaches a channel receive through a callee.
+func callBlocker(a *A, ch chan int) {
+	a.mu.Lock()
+	blocksInside(ch) // want "may block"
+	a.mu.Unlock()
+}
+
+// goIsFine launches the blocking callee concurrently: it does not run
+// nested under the lock.
+func goIsFine(a *A, ch chan int) {
+	a.mu.Lock()
+	go blocksInside(ch)
+	a.mu.Unlock()
+}
+
+// bumpLocked runs with the receiver's lock held by convention, so its
+// send blocks under A.mu.
+//
+//kairos:locked
+func (a *A) bumpLocked(ch chan int) {
+	ch <- a.n // want "channel send while holding"
+}
+
+// waived documents why its send is safe.
+func waived(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- 1 //kairoslint:allow lockorder: the channel is buffered and drained by construction
+	a.mu.Unlock()
+}

@@ -1,0 +1,55 @@
+package lockorderfix
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type D struct {
+	mu sync.Mutex
+	m  int // guarded by mu
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// cd and dc order C and D inconsistently through callees: the cycle is
+// only visible interprocedurally.
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want "lock-order cycle"
+	c.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	lockC(c) // want "lock-order cycle"
+	d.mu.Unlock()
+}
+
+type E struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type F struct {
+	mu sync.Mutex
+	m  int // guarded by mu
+}
+
+// ef is a consistent one-way ordering: silent.
+func ef(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}

@@ -1,0 +1,73 @@
+// Package unitfix exercises unitsafe: annotated fields, params and
+// returns, local inference, conversion silence, and bad annotations.
+package unitfix
+
+// Point carries two differently-dimensioned quantities.
+type Point struct {
+	// WS is the working-set size.
+	//kairos:unit MB
+	WS   float64
+	Rate float64 //kairos:unit RowsPerSec
+	Name string
+}
+
+//kairos:unit ws MB
+//kairos:unit rate RowsPerSec
+//kairos:unit return MBps
+func predict(ws, rate float64) float64 {
+	return ws * rate * 1e-6 // product: unit intentionally unknown
+}
+
+func mismatches(p Point) float64 {
+	bad := p.WS + p.Rate // want "unit mismatch: MB \\+ RowsPerSec"
+	if p.WS > p.Rate {   // want "unit mismatch: MB > RowsPerSec"
+		bad++
+	}
+	x := p.WS    // x inherits MB
+	x = p.Rate   // want "assigning RowsPerSec to MB variable"
+	x -= p.Rate  // want "unit mismatch: MB - RowsPerSec"
+	var y = p.WS // y inherits MB
+	y += p.Rate  // want "unit mismatch: MB \\+ RowsPerSec"
+	return bad + x + y
+}
+
+func badArgs(p Point) float64 {
+	return predict(p.Rate, p.WS) // want "argument is RowsPerSec, but parameter ws of predict is MB" "argument is MB, but parameter rate of predict is RowsPerSec"
+}
+
+//kairos:unit return MB
+func badReturn(p Point) float64 {
+	return p.Rate // want "returning RowsPerSec from a function annotated"
+}
+
+func badComposite(p Point) Point {
+	return Point{
+		WS:   p.Rate, // want "field WS is MB, but value is RowsPerSec"
+		Rate: p.Rate,
+	}
+}
+
+func fine(p, q Point) float64 {
+	sum := p.WS + q.WS        // same unit: silent
+	scaled := p.WS / 2        // division loses the unit
+	asBytes := p.WS * 1e6     // conversion written as multiplication: silent
+	r := predict(sum, p.Rate) // threading annotated quantities properly
+	if p.Rate <= q.Rate {
+		r++
+	}
+	return scaled + asBytes + r // unknowns match anything
+}
+
+func waived(p Point) float64 {
+	return p.WS + p.Rate //kairoslint:allow unitsafe: fixture proves the waiver path
+}
+
+//kairos:unit missing MB
+func noSuchParam(ws float64) float64 { // want "names no parameter of noSuchParam"
+	return ws
+}
+
+type Bad struct {
+	//kairos:unit pct
+	Label string // want "non-float64 field Label"
+}

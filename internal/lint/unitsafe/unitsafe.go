@@ -1,0 +1,397 @@
+// Package unitsafe propagates //kairos:unit annotations on float64
+// quantities through the program and reports cross-unit arithmetic.
+// Kairos mixes megabytes, bytes, MB/s, bytes/s, rows/sec, milliseconds
+// and fractions in plain float64s — the disk profile alone converts
+// between four of them — and a missed /1e6 is invisible to the type
+// checker. Units are opaque labels; two quantities may be added,
+// subtracted, compared, assigned, passed, or returned across an
+// annotation boundary only when their labels agree.
+//
+// Annotating:
+//
+//	// WSMB is the working-set size.
+//	//kairos:unit MB
+//	WSMB float64            // struct field: doc or trailing comment
+//
+//	//kairos:unit wsBytes Bytes
+//	//kairos:unit return MBps
+//	func Predict(wsBytes float64) float64   // params and return by name
+//
+// Propagation is deliberately conservative: multiplication, division,
+// and any unannotated expression yield an unknown unit, which matches
+// everything — `wsBytes / 1e6` is how a conversion is written, and the
+// analyzer stays silent about it. Local variables pick up units from
+// `x := expr` and `var x = expr` initializers. Mismatches carry
+// //kairoslint:allow unitsafe: <reason> when deliberate.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kairos/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "unitsafe",
+	Doc:        "propagates //kairos:unit annotations and reports cross-unit float64 arithmetic",
+	RunProgram: run,
+}
+
+const prefix = "kairos:unit"
+
+// index holds the program-wide annotation tables. Objects are keyed by
+// declaration position string so the same field or parameter seen from
+// different type-check universes unifies, exactly as in callgraph.
+type index struct {
+	units map[string]string // object key → unit
+	rets  map[string]string // func key → return unit
+}
+
+func run(prog *analysis.Program) error {
+	idx := &index{units: map[string]string{}, rets: map[string]string{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			collectFile(prog, pkg.TypesInfo, idx, f)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		c := &checker{prog: prog, info: pkg.TypesInfo, idx: idx}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					c.locals = map[types.Object]string{}
+					c.checkFunc(fd.Body, retUnitOf(prog, pkg.TypesInfo, idx, fd))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// unitLine returns the fields of a `kairos:unit ...` directive, or nil.
+func unitLine(c *ast.Comment) []string {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if text == prefix || strings.HasPrefix(text, prefix+" ") {
+		return strings.Fields(strings.TrimPrefix(text, prefix))
+	}
+	return nil
+}
+
+func (ix *index) key(prog *analysis.Program, obj types.Object) string {
+	if p := obj.Pos(); p.IsValid() {
+		return prog.Fset.Position(p).String()
+	}
+	return obj.Id()
+}
+
+// collectFile harvests field and function annotations from one file.
+func collectFile(prog *analysis.Program, info *types.Info, idx *index, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				collectField(prog, info, idx, field)
+			}
+		case *ast.FuncDecl:
+			collectFunc(prog, info, idx, n)
+			return false // param docs handled; body has no annotations
+		}
+		return true
+	})
+}
+
+func collectField(prog *analysis.Program, info *types.Info, idx *index, field *ast.Field) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			args := unitLine(c)
+			if args == nil {
+				continue
+			}
+			if len(args) != 1 {
+				prog.Reportf(field.Pos(), "malformed field annotation %q: want //kairos:unit <Unit>", c.Text)
+				continue
+			}
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if !isFloat64(obj.Type()) {
+					prog.Reportf(name.Pos(), "//kairos:unit on non-float64 field %s", name.Name)
+					continue
+				}
+				idx.units[idx.key(prog, obj)] = args[0]
+			}
+		}
+	}
+}
+
+func collectFunc(prog *analysis.Program, info *types.Info, idx *index, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for _, c := range fd.Doc.List {
+		args := unitLine(c)
+		if args == nil {
+			continue
+		}
+		if len(args) != 2 {
+			prog.Reportf(fd.Name.Pos(), "malformed annotation %q: want //kairos:unit <param>|return <Unit>", c.Text)
+			continue
+		}
+		name, unit := args[0], args[1]
+		if name == "return" {
+			if sig.Results().Len() != 1 || !isFloat64(sig.Results().At(0).Type()) {
+				prog.Reportf(fd.Name.Pos(), "//kairos:unit return on %s, which does not return exactly one float64", fd.Name.Name)
+				continue
+			}
+			idx.rets[idx.key(prog, fn)] = unit
+			continue
+		}
+		param := paramNamed(sig, name)
+		if param == nil {
+			prog.Reportf(fd.Name.Pos(), "//kairos:unit %s: names no parameter of %s", name, fd.Name.Name)
+			continue
+		}
+		if !isFloat64(param.Type()) {
+			prog.Reportf(fd.Name.Pos(), "//kairos:unit on non-float64 parameter %s", name)
+			continue
+		}
+		idx.units[idx.key(prog, param)] = unit
+	}
+}
+
+func paramNamed(sig *types.Signature, name string) *types.Var {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return sig.Params().At(i)
+		}
+	}
+	return nil
+}
+
+func retUnitOf(prog *analysis.Program, info *types.Info, idx *index, fd *ast.FuncDecl) string {
+	if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil {
+		return idx.rets[idx.key(prog, fn)]
+	}
+	return ""
+}
+
+// checker walks one function body.
+type checker struct {
+	prog   *analysis.Program
+	info   *types.Info
+	idx    *index
+	locals map[types.Object]string
+}
+
+func (c *checker) lookup(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	if u, ok := c.locals[obj]; ok {
+		return u
+	}
+	return c.idx.units[c.idx.key(c.prog, obj)]
+}
+
+// unitOf evaluates an expression's unit; "" means unknown, which
+// matches anything. Pure — mismatches are reported by checkFunc at the
+// node that combines them, never here, so shared subexpressions are
+// not double-reported.
+func (c *checker) unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.unitOf(e.X)
+	case *ast.Ident:
+		if obj := c.info.Uses[e]; obj != nil {
+			return c.lookup(obj)
+		}
+		return c.lookup(c.info.Defs[e])
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[e]; ok {
+			return c.lookup(sel.Obj())
+		}
+		return c.lookup(c.info.Uses[e.Sel])
+	case *ast.CallExpr:
+		if fn := calleeOf(c.info, e); fn != nil {
+			return c.idx.rets[c.idx.key(c.prog, fn.Origin())]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return c.unitOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			lu, ru := c.unitOf(e.X), c.unitOf(e.Y)
+			switch {
+			case lu == "":
+				return ru
+			case ru == "" || lu == ru:
+				return lu
+			}
+		}
+		// *, /, comparisons, and mismatched +/- change or lose the unit.
+	}
+	return ""
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt, retUnit string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal has no doc comment, hence no return annotation;
+			// its body still shares the enclosing locals.
+			c.checkFunc(n.Body, "")
+			return false
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				c.combine(n.OpPos, n.Op, n.X, n.Y)
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					c.inferOrCheck(name, n.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.ReturnStmt:
+			if retUnit != "" && len(n.Results) == 1 {
+				if ru := c.unitOf(n.Results[0]); ru != "" && ru != retUnit {
+					c.prog.Reportf(n.Results[0].Pos(),
+						"returning %s from a function annotated //kairos:unit return %s", ru, retUnit)
+				}
+			}
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) combine(pos token.Pos, op token.Token, x, y ast.Expr) {
+	lu, ru := c.unitOf(x), c.unitOf(y)
+	if lu != "" && ru != "" && lu != ru {
+		c.prog.Reportf(pos, "unit mismatch: %s %s %s", lu, op, ru)
+	}
+}
+
+func (c *checker) checkAssign(n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		op := token.ADD
+		if n.Tok == token.SUB_ASSIGN {
+			op = token.SUB
+		}
+		c.combine(n.TokPos, op, n.Lhs[0], n.Rhs[0])
+	case token.ASSIGN, token.DEFINE:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && n.Tok == token.DEFINE {
+				c.inferOrCheck(id, n.Rhs[i])
+				continue
+			}
+			lu, ru := c.unitOf(lhs), c.unitOf(n.Rhs[i])
+			if lu != "" && ru != "" && lu != ru {
+				c.prog.Reportf(n.Rhs[i].Pos(), "assigning %s to %s variable", ru, lu)
+			}
+		}
+	}
+}
+
+// inferOrCheck handles a declaration initializer: the new variable
+// inherits the initializer's unit.
+func (c *checker) inferOrCheck(name *ast.Ident, value ast.Expr) {
+	obj := c.info.Defs[name]
+	if obj == nil || !isFloat64(obj.Type()) {
+		return
+	}
+	if u := c.unitOf(value); u != "" {
+		c.locals[obj] = u
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := calleeOf(c.info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() || (sig.Variadic() && i >= sig.Params().Len()-1) {
+			break
+		}
+		param := sig.Params().At(i)
+		pu := c.idx.units[c.idx.key(c.prog, param)]
+		au := c.unitOf(arg)
+		if pu != "" && au != "" && au != pu {
+			c.prog.Reportf(arg.Pos(), "argument is %s, but parameter %s of %s is %s",
+				au, param.Name(), fn.Name(), pu)
+		}
+	}
+}
+
+func (c *checker) checkComposite(lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field := c.info.Uses[key]
+		if field == nil {
+			continue
+		}
+		fu := c.idx.units[c.idx.key(c.prog, field)]
+		vu := c.unitOf(kv.Value)
+		if fu != "" && vu != "" && fu != vu {
+			c.prog.Reportf(kv.Value.Pos(), "field %s is %s, but value is %s", key.Name, fu, vu)
+		}
+	}
+}
+
+// calleeOf resolves a call to its static *types.Func, or nil for
+// function values, conversions, and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}

@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/unitsafe"
+)
+
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafe.Analyzer, "unitfix")
+}

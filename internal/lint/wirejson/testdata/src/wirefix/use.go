@@ -15,7 +15,7 @@ func build() PlanOK {
 }
 
 func waived() PlanOK {
-	return PlanOK{"p", 1, 0} //kairoslint:allow wirejson (fixture for the escape hatch)
+	return PlanOK{"p", 1, 0} //kairoslint:allow wirejson: fixture for the escape hatch
 }
 
 func other() local {

@@ -26,12 +26,14 @@ import (
 // ProfilePoint is one measured sweep point.
 type ProfilePoint struct {
 	// WSMB is the working-set size in megabytes.
+	//kairos:unit MB
 	WSMB float64 `json:"ws_mb"`
 	// DemandRows and AchievedRows are the demanded and completed row-update
 	// rates in rows/sec.
-	DemandRows   float64 `json:"demand_rows"`
-	AchievedRows float64 `json:"achieved_rows"`
+	DemandRows   float64 `json:"demand_rows"`   //kairos:unit RowsPerSec
+	AchievedRows float64 `json:"achieved_rows"` //kairos:unit RowsPerSec
 	// WriteMBps is the measured total disk write throughput (log + pages).
+	//kairos:unit MBps
 	WriteMBps float64 `json:"write_mbps"`
 	// Saturated marks points where the disk could not keep up.
 	Saturated bool `json:"saturated"`
@@ -54,13 +56,16 @@ type DiskProfile struct {
 	// WSMinMB and WSMaxMB bound the working-set range the profile was
 	// fitted on; predictions clamp the working set into this range, since
 	// a degree-2 polynomial extrapolates wildly outside its data.
-	WSMinMB float64 `json:"ws_min_mb"`
-	WSMaxMB float64 `json:"ws_max_mb"`
+	WSMinMB float64 `json:"ws_min_mb"` //kairos:unit MB
+	WSMaxMB float64 `json:"ws_max_mb"` //kairos:unit MB
 	// ConfigName describes the profiled configuration.
 	ConfigName string `json:"config_name"`
 }
 
 // clampWS restricts a working-set size (MB) to the fitted range.
+//
+//kairos:unit wsMB MB
+//kairos:unit return MB
 func (p *DiskProfile) clampWS(wsMB float64) float64 {
 	if p.WSMaxMB > p.WSMinMB {
 		if wsMB < p.WSMinMB {
@@ -75,6 +80,10 @@ func (p *DiskProfile) clampWS(wsMB float64) float64 {
 
 // PredictWriteMBps estimates the disk write throughput of a combined
 // workload with the given aggregate working set and row-update rate.
+//
+//kairos:unit wsBytes Bytes
+//kairos:unit rowsPerSec RowsPerSec
+//kairos:unit return MBps
 func (p *DiskProfile) PredictWriteMBps(wsBytes, rowsPerSec float64) float64 {
 	v := p.Fit.Eval(p.clampWS(wsBytes/1e6), rowsPerSec)
 	if v < 0 {
@@ -92,6 +101,9 @@ func (p *DiskProfile) PredictWriteMBps(wsBytes, rowsPerSec float64) float64 {
 // clamped to 0. A zero envelope means "no update rate is sustainable at this
 // working set": per the boundary rule (see EnvelopeFeasible), an aggregate
 // rate of exactly 0 is still feasible there, and any positive rate is not.
+//
+//kairos:unit wsBytes Bytes
+//kairos:unit return RowsPerSec
 func (p *DiskProfile) MaxRowsPerSec(wsBytes float64) float64 {
 	v := p.Envelope.Eval(p.clampWS(wsBytes / 1e6))
 	if v < 0 {
@@ -108,6 +120,9 @@ func (p *DiskProfile) MaxRowsPerSec(wsBytes float64) float64 {
 // rate passes; the old `rate >= max` / `max > 0` variants either rejected
 // idle placements (rate 0 vs envelope 0) or silently disabled the check for
 // large working sets.
+//
+//kairos:unit rowsPerSec RowsPerSec
+//kairos:unit maxRowsPerSec RowsPerSec
 func EnvelopeFeasible(rowsPerSec, maxRowsPerSec float64) bool {
 	return rowsPerSec <= maxRowsPerSec
 }

@@ -33,7 +33,7 @@ type fleetMetrics struct {
 	migrations   int64
 	// histogram state for kairos_resolve_duration_seconds.
 	bucketCounts []int64
-	resolveSum   float64
+	resolveSum   float64 //kairos:unit Seconds
 	resolveCount int64
 }
 

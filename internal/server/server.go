@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -61,6 +62,7 @@ type ingestResp struct {
 // New creates a control plane. logf receives one line per lifecycle event
 // (register, trigger, deregister); nil discards them.
 func New(logf func(format string, args ...any)) *Server {
+	//kairoslint:allow ctxflow: control-plane root context; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		fleets: map[string]*session{},
@@ -182,9 +184,18 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	// The initial solve runs in the request: registration returns the plan
 	// it will serve, and a spec the solver rejects never enters the
-	// registry.
-	plan, err := fleet.Consolidate()
+	// registry. The solve aborts when the server shuts down (s.ctx) or the
+	// client goes away (r.Context()).
+	solveCtx, solveCancel := context.WithCancel(s.ctx)
+	stopAfter := context.AfterFunc(r.Context(), solveCancel)
+	plan, err := fleet.Consolidate(solveCtx)
+	stopAfter()
+	solveCancel()
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			writeErr(w, http.StatusServiceUnavailable, "consolidation aborted: %v", err)
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, "initial consolidation failed: %v", err)
 		return
 	}
@@ -249,7 +260,9 @@ func (s *Server) reconcile(ctx context.Context, sess *session) {
 		case <-ctx.Done():
 			return
 		case req := <-sess.ingest:
-			ev, err := sess.fleet.Observe(req.window)
+			// The loop's ctx rides into the solver: Server.Close (or a
+			// deregister) aborts a drift-triggered re-solve mid-flight.
+			ev, err := sess.fleet.Observe(ctx, req.window)
 			resp := ingestResp{err: err}
 			if err != nil {
 				s.met.observeWindow(sess.id, true)
@@ -290,14 +303,19 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	select {
 	case sess.ingest <- ir:
 	case <-sess.done:
-		writeErr(w, http.StatusGone, "fleet %q deregistered", sess.id)
+		s.writeStopped(w, sess, "")
 		return
 	case <-r.Context().Done():
 		return
 	}
-	select {
-	case resp := <-ir.reply:
+	writeResp := func(resp ingestResp) {
 		if resp.err != nil {
+			if errors.Is(resp.err, context.Canceled) {
+				// The re-solve was aborted by shutdown or deregistration,
+				// not rejected on its merits.
+				writeErr(w, http.StatusServiceUnavailable, "re-consolidation aborted: %v", resp.err)
+				return
+			}
 			// The window was structurally valid JSON but the watch loop
 			// rejected it (unknown workload, series shape mismatch, ...).
 			writeErr(w, http.StatusUnprocessableEntity, "%v", resp.err)
@@ -308,9 +326,34 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 			out.Event = eventWire(resp.event)
 		}
 		writeJSON(w, http.StatusOK, out)
-	case <-sess.done:
-		writeErr(w, http.StatusGone, "fleet %q deregistered during ingest", sess.id)
 	}
+	select {
+	case resp := <-ir.reply:
+		writeResp(resp)
+	case <-sess.done:
+		// The loop may have answered and exited in the same instant; a
+		// buffered reply wins over the stop notice.
+		select {
+		case resp := <-ir.reply:
+			writeResp(resp)
+		default:
+			s.writeStopped(w, sess, " during ingest")
+		}
+	}
+}
+
+// writeStopped answers a window whose reconcile loop has exited: 503 when
+// the whole server is shutting down (retryable against a replacement), 410
+// when just this fleet was deregistered.
+func (s *Server) writeStopped(w http.ResponseWriter, sess *session, phase string) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	writeErr(w, http.StatusGone, "fleet %q deregistered%s", sess.id, phase)
 }
 
 // status snapshots a session for the wire.

@@ -36,9 +36,9 @@
 //	f, _ := kairos.NewFleet(kairos.FleetSpec{
 //		Workloads: workloads, Machines: machines, Disk: profile,
 //	})
-//	plan, _ := f.Consolidate() // the initial placement
+//	plan, _ := f.Consolidate(ctx) // the initial placement
 //	for window := range collector {
-//		if ev, _ := f.Observe(window); ev != nil {
+//		if ev, _ := f.Observe(ctx, window); ev != nil {
 //			fmt.Println("re-consolidated:", ev) // drift-triggered re-solve
 //		}
 //	}
@@ -57,6 +57,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -185,7 +186,8 @@ func Consolidate(workloads []Workload, machines []Machine, dp *DiskProfile, opt 
 	if err != nil {
 		return nil, err
 	}
-	return f.Consolidate()
+	//kairoslint:allow ctxflow: deprecated wrapper, legacy signature has no ctx
+	return f.Consolidate(context.Background())
 }
 
 // ConsolidateFleet solves fleet-scale placement with the sharded engine:
@@ -203,7 +205,8 @@ func ConsolidateFleet(workloads []Workload, machines []Machine, dp *DiskProfile,
 	if err != nil {
 		return nil, err
 	}
-	return f.Consolidate()
+	//kairoslint:allow ctxflow: deprecated wrapper, legacy signature has no ctx
+	return f.Consolidate(context.Background())
 }
 
 // newPlan decorates a solution with per-machine loads and display names.
@@ -241,12 +244,26 @@ func newPlan(p *Problem, sol *Solution) (*Plan, error) {
 // WithResolveOptions(opt)) followed by (*Fleet).Consolidate — a session
 // seeded with an incumbent re-solves warm automatically.
 func Reconsolidate(workloads []Workload, machines []Machine, dp *DiskProfile, inc *Incumbent, opt SolveOptions) (*Plan, error) {
-	f, err := NewFleet(FleetSpec{Workloads: workloads, Machines: machines, Disk: dp},
-		WithIncumbent(inc), WithResolveOptions(opt))
+	//kairoslint:allow ctxflow: deprecated wrapper, legacy signature has no ctx
+	return reconsolidate(context.Background(), workloads, machines, dp, inc, opt)
+}
+
+// reconsolidate is the warm re-solve core shared by the deprecated
+// Reconsolidate wrapper and the watch loop's triggered re-solves: validate
+// the problem, run core.Resolve from the incumbent, decorate the plan. It
+// deliberately builds no Fleet — the watch loop calls it with
+// AutoReconsolidator.mu held, and constructing a session here would nest a
+// fresh Fleet.mu acquisition under it.
+func reconsolidate(ctx context.Context, workloads []Workload, machines []Machine, dp *DiskProfile, inc *Incumbent, opt SolveOptions) (*Plan, error) {
+	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sol, err := core.Resolve(ctx, p, inc, opt)
 	if err != nil {
 		return nil, err
 	}
-	return f.Consolidate()
+	return newPlan(p, sol)
 }
 
 // String renders the plan as a human-readable placement table.
@@ -290,9 +307,10 @@ func (p *Plan) String() string {
 // workloads into fixed-size groups and consolidating each independently —
 // the paper's Section 7.5 strategy for "tens of thousands of databases".
 // It trades some cross-group co-location opportunity for linear scaling.
-func ConsolidatePartitioned(workloads []Workload, machines []Machine, dp *DiskProfile, g Grouping) (*PartitionedSolution, error) {
+// Cancelling ctx aborts the solve after the current group.
+func ConsolidatePartitioned(ctx context.Context, workloads []Workload, machines []Machine, dp *DiskProfile, g Grouping) (*PartitionedSolution, error) {
 	p := &Problem{Workloads: workloads, Machines: machines, Disk: dp}
-	return core.SolvePartitioned(p, g)
+	return core.SolvePartitioned(ctx, p, g)
 }
 
 // MeasureWorkloads drives the given workload generators on an instance for

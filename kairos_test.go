@@ -1,6 +1,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -200,7 +201,7 @@ func TestConsolidatePartitionedFacade(t *testing.T) {
 	for i := range machines {
 		machines[i] = Machine{Name: "m", CPUCapacity: 1, RAMBytes: 32e9}
 	}
-	ps, err := ConsolidatePartitioned(wls, machines, nil, Grouping{GroupSize: 4, Options: DefaultOptions()})
+	ps, err := ConsolidatePartitioned(context.Background(), wls, machines, nil, Grouping{GroupSize: 4, Options: DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}

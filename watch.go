@@ -1,6 +1,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -158,8 +159,11 @@ func (ar *AutoReconsolidator) Window() int {
 // series for the period). It returns (nil, nil) while the plan holds; when
 // the drift detector fires it re-solves from the forecast series and
 // returns the event. After a triggered re-solve the new plan becomes the
-// incumbent and the forecast becomes the detector's baseline.
-func (ar *AutoReconsolidator) Observe(observed []Workload) (*ReconsolidationEvent, error) {
+// incumbent and the forecast becomes the detector's baseline. Cancelling
+// ctx aborts a triggered re-solve and returns ctx.Err(); the window still
+// counts as consumed, and the detector re-arms so persistent drift fires
+// again on the next window.
+func (ar *AutoReconsolidator) Observe(ctx context.Context, observed []Workload) (*ReconsolidationEvent, error) {
 	samples, err := driftSamples(observed)
 	if err != nil {
 		return nil, err
@@ -182,7 +186,8 @@ func (ar *AutoReconsolidator) Observe(observed []Workload) (*ReconsolidationEven
 		return nil, nil
 	}
 
-	ev, err := ar.resolve(trig)
+	//kairoslint:allow lockorder: triggered re-solves run under ar.mu by design to serialize with Observe; ctx aborts them on shutdown
+	ev, err := ar.resolve(ctx, trig)
 	if err != nil {
 		// The detector disarmed itself when it fired; with no re-solve to
 		// rebase it, persistent drift would otherwise never re-fire. Re-arm
@@ -199,7 +204,7 @@ func (ar *AutoReconsolidator) Observe(observed []Workload) (*ReconsolidationEven
 // calls it with ar.mu held.
 //
 //kairos:locked
-func (ar *AutoReconsolidator) resolve(trig *DriftTrigger) (*ReconsolidationEvent, error) {
+func (ar *AutoReconsolidator) resolve(ctx context.Context, trig *DriftTrigger) (*ReconsolidationEvent, error) {
 	forecast, err := forecastWorkloads(ar.history)
 	if err != nil {
 		return nil, fmt.Errorf("kairos: building forecast series: %w", err)
@@ -209,7 +214,8 @@ func (ar *AutoReconsolidator) resolve(trig *DriftTrigger) (*ReconsolidationEvent
 	if err != nil {
 		return nil, err
 	}
-	plan, err := Reconsolidate(forecast, ar.machines, ar.dp, ar.inc, ar.opt.Resolve)
+	//kairoslint:allow lockorder: the warm re-solve's worker pool always drains; ctx aborts it on shutdown
+	plan, err := reconsolidate(ctx, forecast, ar.machines, ar.dp, ar.inc, ar.opt.Resolve)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +263,8 @@ func Watch(inc *Incumbent, baseline []Workload, windows [][]Workload, machines [
 		return nil, nil, err
 	}
 	for _, w := range windows {
-		if _, err := f.Observe(w); err != nil {
+		//kairoslint:allow ctxflow: deprecated wrapper, legacy signature has no ctx
+		if _, err := f.Observe(context.Background(), w); err != nil {
 			return f.Events(), f.Incumbent(), err
 		}
 	}

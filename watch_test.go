@@ -1,6 +1,7 @@
 package kairos
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -106,7 +107,7 @@ func TestWatchTriggersOnlyOnDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, w := range [][]Workload{quiet1, quiet2, quiet1} {
-		ev, err := ar.Observe(w)
+		ev, err := ar.Observe(context.Background(), w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func TestWatchTriggersOnlyOnDrift(t *testing.T) {
 			t.Fatalf("quiet window %d fired: %v", i, ev)
 		}
 	}
-	ev, err := ar.Observe(drifted)
+	ev, err := ar.Observe(context.Background(), drifted)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestWatchTriggersOnlyOnDrift(t *testing.T) {
 	// the observed level.
 	var extra int
 	for i := 0; i < 4; i++ {
-		ev, err := ar.Observe(drifted)
+		ev, err := ar.Observe(context.Background(), drifted)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestWatchTriggersOnlyOnDrift(t *testing.T) {
 	if extra > 1 {
 		t.Errorf("loop thrashed: %d re-solves while holding a steady level, want ≤1 convergence step", extra)
 	}
-	ev2, err := ar.Observe(drifted)
+	ev2, err := ar.Observe(context.Background(), drifted)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,14 +209,14 @@ func TestWatchRejectedWindowIsNotConsumed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ar.Observe(scaleWorkloads(wls, 1.001)); err != nil {
+	if _, err := ar.Observe(context.Background(), scaleWorkloads(wls, 1.001)); err != nil {
 		t.Fatal(err)
 	}
 	// A window whose WSBytes disagrees with its CPU shape — a series the
 	// detector does not track — must be rejected up front, not recorded.
 	bad := scaleWorkloads(wls, 1.001)
 	bad[0].WSBytes = series.Constant(time.Unix(0, 0), time.Minute, 3, 1e9)
-	if _, err := ar.Observe(bad); err == nil {
+	if _, err := ar.Observe(context.Background(), bad); err == nil {
 		t.Fatal("internally inconsistent window accepted")
 	}
 	if ar.Window() != 1 {
@@ -223,7 +224,7 @@ func TestWatchRejectedWindowIsNotConsumed(t *testing.T) {
 	}
 	// The next valid drifted window triggers and re-solves — the bad
 	// window left no residue in the forecast history.
-	ev, err := ar.Observe(scaleWorkloads(wls, 1.15))
+	ev, err := ar.Observe(context.Background(), scaleWorkloads(wls, 1.15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestWatchDriftedFleet197(t *testing.T) {
 		if frac > 0 {
 			win = driftFleet(wls, frac, int64(100+i))
 		}
-		ev, err := ar.Observe(win)
+		ev, err := ar.Observe(context.Background(), win)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +316,7 @@ func TestWatchDriftedFleet197(t *testing.T) {
 	}
 	// 5%-drifted trace: must trigger within one evaluation window.
 	drifted := driftFleet(wls, 0.05, 7)
-	ev, err := ar.Observe(drifted)
+	ev, err := ar.Observe(context.Background(), drifted)
 	if err != nil {
 		t.Fatal(err)
 	}
