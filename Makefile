@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race race-full race-server bench bench-hot bench-resolve bench-drift bench-json serve-smoke lint fmt ci
+.PHONY: build test test-full race race-full race-server crash-matrix bench bench-hot bench-resolve bench-drift bench-json serve-smoke lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ race-full:
 # the 197-server HTTP e2e with concurrent collectors.
 race-server:
 	$(GO) test -race ./internal/server/
+
+# Crash matrix: the durability gate. Kills the journaled control plane at
+# every fault-injection point (append write/sync, snapshot write/sync/
+# rename/truncate, torn half-written frame), restarts from the state
+# directory, and asserts every acked window was replayed, the recovered
+# plan matches the last published placement, and retries of acked windows
+# deduplicate instead of re-firing the detector.
+crash-matrix:
+	$(GO) test -run 'TestCrashMatrix|TestRecoveryAfterGracefulClose|TestDeregisterSurvivesRestart|TestIdempotentIngestLive|TestDegradedWhileRecovering' -v ./internal/server/
+	$(GO) test -run 'TestTornTail|TestBitFlips|TestSnapshotCrash|TestCorruptSnapshot|TestTornAppendPoisonsLog|TestPropertyReplayEqualsModel' -v ./internal/journal/
 
 # Benchmark smoke: every benchmark once, no unit tests. The full figure
 # benchmarks regenerate the paper's evaluation; see bench_test.go.
@@ -92,4 +102,4 @@ fmt:
 # Local CI mirror. The hosted workflow runs the same gates, with the
 # short race pass promoted to `race-full` in a dedicated job (and
 # govulncheck, which needs network access to fetch its vuln DB).
-ci: build lint test race race-server serve-smoke bench
+ci: build lint test race race-server crash-matrix serve-smoke bench

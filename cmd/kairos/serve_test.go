@@ -1,0 +1,27 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestNewHTTPServerHardening pins the daemon's connection hygiene: header
+// reads and idle keep-alives are bounded (no ReadTimeout — window bodies
+// may stream slowly; the handler bounds their size instead).
+func TestNewHTTPServerHardening(t *testing.T) {
+	h := http.NewServeMux()
+	srv := newHTTPServer(":0", h)
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadHeaderTimeout > time.Minute {
+		t.Errorf("ReadHeaderTimeout = %v, want a bounded positive value", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v, want positive", srv.IdleTimeout)
+	}
+	if srv.ReadTimeout != 0 {
+		t.Errorf("ReadTimeout = %v, want 0 (bodies are size-bounded, not time-bounded)", srv.ReadTimeout)
+	}
+	if srv.Handler == nil || srv.Addr != ":0" {
+		t.Errorf("server = %+v, want handler and addr wired through", srv)
+	}
+}

@@ -115,6 +115,9 @@ type Fleet struct {
 	plan   *Plan                   // guarded by mu
 	ar     *AutoReconsolidator     // guarded by mu
 	events []*ReconsolidationEvent // guarded by mu
+	// advanceHook is the control plane's write-ahead hook, installed on the
+	// watch loop whenever one is (re)built.
+	advanceHook func(*ReconsolidationEvent) error // guarded by mu
 }
 
 // NewFleet opens a consolidation session for the fleet described by spec.
@@ -257,8 +260,26 @@ func (f *Fleet) watchLoopLocked() (*AutoReconsolidator, error) {
 	if err != nil {
 		return nil, err
 	}
+	ar.onAdvance = f.advanceHook
 	f.ar = ar
 	return ar, nil
+}
+
+// SetAdvanceHook installs a write-ahead hook on the session: it runs
+// after each drift-triggered re-solve succeeds but before its plan is
+// committed as the incumbent or published, so a durable control plane can
+// journal the advance first. A hook error aborts the advance (nothing
+// publishes, the detector re-arms, the drift fires again). Install it
+// before streaming windows; a nil hook removes it.
+func (f *Fleet) SetAdvanceHook(hook func(*ReconsolidationEvent) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceHook = hook
+	if f.ar != nil {
+		f.ar.mu.Lock()
+		f.ar.onAdvance = hook
+		f.ar.mu.Unlock()
+	}
 }
 
 // Observe consumes one observation window (the fleet's measured workload
@@ -287,6 +308,145 @@ func (f *Fleet) Observe(ctx context.Context, window []Workload) (*Reconsolidatio
 	f.events = append(f.events, ev)
 	f.mu.Unlock()
 	return ev, nil
+}
+
+// ObserveDetectOnly consumes one observation window through the drift
+// detector and forecast history without ever solving, and reports whether
+// the window fired a trigger. It is the replay half of crash recovery
+// (journaled windows reconsume through the real state machine, so the
+// detector cannot double-fire on them — the journaled advance, not a new
+// solve, decides what each trigger led to) and the control plane's
+// monitoring path while a failed re-solve is backing off. A trigger
+// reported here leaves the detector disarmed, exactly as a live trigger
+// would; follow it with ReplayAdvance or RearmDetector.
+func (f *Fleet) ObserveDetectOnly(window []Workload) (triggered bool, err error) {
+	f.mu.Lock()
+	ar, err := f.watchLoopLocked()
+	f.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return ar.observeDetectOnly(window)
+}
+
+// RearmDetector forces the drift detector back to armed with no pending
+// cool-down — the recovery for a trigger whose re-solve never committed
+// (a journaled rearm record, or a backoff window's suppressed solve).
+func (f *Fleet) RearmDetector() {
+	f.mu.Lock()
+	ar := f.ar
+	f.mu.Unlock()
+	if ar != nil {
+		ar.rearm()
+	}
+}
+
+// ReplayAdvance re-commits a journaled incumbent advance during crash
+// recovery: the plan is rebuilt from the durable incumbent against the
+// forecast of the replayed history (no solve), becomes the session's
+// current plan, and the detector rebases onto it exactly as the live
+// commit did. Call it right after the ObserveDetectOnly that reported the
+// corresponding trigger.
+func (f *Fleet) ReplayAdvance(inc *Incumbent) (*Plan, error) {
+	f.mu.Lock()
+	ar, err := f.watchLoopLocked()
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := ar.replayAdvance(inc)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.plan = plan
+	f.mu.Unlock()
+	return plan, nil
+}
+
+// AdoptIncumbent materializes a previously published plan as the
+// session's current plan without solving: the recovery path for the
+// initial registration-time solve, whose durable incumbent the journal
+// holds. The plan is priced against the spec workloads; any live watch
+// loop is dropped so the next Observe rebuilds against it.
+func (f *Fleet) AdoptIncumbent(inc *Incumbent) (*Plan, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.problem()
+	sol, err := core.SolutionFromIncumbent(p, inc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := newPlan(p, sol)
+	if err != nil {
+		return nil, err
+	}
+	f.plan = plan
+	f.ar = nil
+	return plan, nil
+}
+
+// FleetCheckpoint is a session's full durable watch state: everything a
+// restarted process needs (beyond the spec it was registered with) to
+// resume monitoring exactly where the crashed one stopped.
+type FleetCheckpoint struct {
+	// Incumbent is the current plan in durable form.
+	Incumbent *Incumbent
+	// Baseline is the workload set the detector's assumptions came from —
+	// the spec workloads until a trigger fires, then the last forecast.
+	Baseline []Workload
+	// History is the retained observation windows, oldest first.
+	History [][]Workload
+	// Windows, Armed and Cooldown are the detector's counter state.
+	Windows  int
+	Armed    bool
+	Cooldown int
+}
+
+// Checkpoint exports the session's durable watch state for a snapshot.
+// Sessions that have not consumed a window yet checkpoint just their
+// incumbent (nil if no plan exists either).
+func (f *Fleet) Checkpoint() *FleetCheckpoint {
+	f.mu.Lock()
+	ar := f.ar
+	cp := &FleetCheckpoint{Incumbent: f.incumbentLocked(), Armed: true}
+	f.mu.Unlock()
+	if ar == nil {
+		return cp
+	}
+	cp.Baseline, cp.History, cp.Incumbent, cp.Windows, cp.Armed, cp.Cooldown = ar.checkpoint()
+	return cp
+}
+
+// RestoreWatch rebuilds the session's watch loop from a checkpoint: the
+// detector's baseline comes from the checkpointed workloads, the forecast
+// history is re-seeded, and the counters resume mid-stream. The
+// checkpointed incumbent becomes the plan the next trigger warm-starts
+// from (the displayed Plan is restored separately via AdoptIncumbent or
+// ReplayAdvance).
+func (f *Fleet) RestoreWatch(cp *FleetCheckpoint) error {
+	if cp.Incumbent == nil {
+		return fmt.Errorf("kairos: checkpoint for fleet %q has no incumbent plan", f.spec.Name)
+	}
+	baseline := cp.Baseline
+	if len(baseline) == 0 {
+		baseline = f.spec.Workloads
+	}
+	ar, err := NewAutoReconsolidator(cp.Incumbent, baseline, f.spec.Machines, f.spec.Disk,
+		WatchOptions{Drift: f.cfg.drift, Resolve: f.cfg.resolve})
+	if err != nil {
+		return err
+	}
+	if err := ar.restore(cp.History, cp.Windows, cp.Armed, cp.Cooldown); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	ar.mu.Lock()
+	ar.onAdvance = f.advanceHook
+	ar.mu.Unlock()
+	f.ar = ar
+	f.mu.Unlock()
+	return nil
 }
 
 // DriftStatus summarizes the watch loop's state for status queries.

@@ -382,6 +382,34 @@ func PriceIncumbent(p *Problem, inc *Incumbent) (obj float64, feasible bool, K i
 	return obj, feasible, K, nil
 }
 
+// SolutionFromIncumbent materializes an incumbent plan as a full Solution
+// against problem p without solving: units map to their incumbent
+// machines exactly as Resolve's warm seed does, unmatched units place
+// greedily, and the assignment is priced once. It is the recovery path's
+// way of rebuilding a published plan from its durable form — the solve
+// that produced the incumbent already ran before the crash, so replay
+// must reconstruct its outcome, not repeat its search.
+func SolutionFromIncumbent(p *Problem, inc *Incumbent) (*Solution, error) {
+	if inc == nil || inc.K <= 0 || len(inc.Units) == 0 {
+		return nil, fmt.Errorf("core: SolutionFromIncumbent needs a non-empty incumbent plan")
+	}
+	ev, err := NewEvaluator(p)
+	if err != nil {
+		return nil, err
+	}
+	K := ev.clampIncumbentK(p, inc.K)
+	seed, _ := ev.warmSeed(p, inc, K)
+	obj, feasible := ev.Eval(seed, K)
+	return &Solution{
+		Assign:    seed,
+		Units:     ev.Units(),
+		K:         K,
+		Feasible:  feasible,
+		Objective: obj,
+		Fevals:    1,
+	}, nil
+}
+
 // Resolve computes a consolidation plan for p warm-started from an
 // incumbent plan (rolling re-consolidation): the solver seeds from the
 // incumbent's placements, prices migrations into the hill climb per

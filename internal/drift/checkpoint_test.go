@@ -1,0 +1,69 @@
+package drift
+
+import "testing"
+
+// TestCheckpointRestoreEquivalence rebuilds a detector from checkpointed
+// state (baseline + seeded history + counters) and verifies it behaves
+// identically to the live one on the next windows — the invariant the
+// control plane's crash recovery rests on.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	cfg := Config{Threshold: 0.05, Cooldown: 2, History: 2}
+	base := []Sample{constWindow("a", 1), constWindow("b", 1)}
+
+	live := mustDetector(t, cfg, base...)
+	// Quiet, quiet, then a trigger: leaves the live detector disarmed with
+	// a running cool-down — the most state-laden point to checkpoint.
+	windows := [][]Sample{
+		{constWindow("a", 1.01), constWindow("b", 1)},
+		{constWindow("a", 0.99), constWindow("b", 1)},
+		{constWindow("a", 1.30), constWindow("b", 1)},
+	}
+	var history [][]Sample
+	for i, w := range windows {
+		trig := observe(t, live, w...)
+		if (trig != nil) != (i == 2) {
+			t.Fatalf("window %d: trigger = %v", i, trig)
+		}
+		history = append(history, w)
+		if len(history) > cfg.History {
+			history = history[len(history)-cfg.History:]
+		}
+	}
+	if live.Armed() || live.Cooldown() != 2 || live.Window() != 3 {
+		t.Fatalf("live state armed=%v cooldown=%d window=%d, want disarmed/2/3",
+			live.Armed(), live.Cooldown(), live.Window())
+	}
+
+	restored := mustDetector(t, cfg, base...)
+	for _, w := range history {
+		if err := restored.SeedHistory(w); err != nil {
+			t.Fatalf("SeedHistory: %v", err)
+		}
+	}
+	restored.Restore(live.Window(), live.Armed(), live.Cooldown())
+
+	// Both detectors must now agree on every subsequent window: the
+	// cool-down suppresses the next two, and the third (drift held at 30%)
+	// still cannot fire because the hysteresis never saw drift fall to the
+	// re-arm level.
+	for i := 0; i < 4; i++ {
+		w := []Sample{constWindow("a", 1.30), constWindow("b", 1)}
+		lt := observe(t, live, w...)
+		rt := observe(t, restored, w...)
+		if (lt == nil) != (rt == nil) {
+			t.Fatalf("window %d: live trigger %v, restored trigger %v", i, lt, rt)
+		}
+		if live.Armed() != restored.Armed() || live.Cooldown() != restored.Cooldown() || live.Window() != restored.Window() {
+			t.Fatalf("window %d: state diverged (live %v/%d/%d, restored %v/%d/%d)", i,
+				live.Armed(), live.Cooldown(), live.Window(),
+				restored.Armed(), restored.Cooldown(), restored.Window())
+		}
+	}
+
+	// After a rebase (what a replayed advance does), the forecast history
+	// must have survived the checkpoint: a drifted window scores a
+	// forecast-error signal only if history is present.
+	if err := restored.SeedHistory([]Sample{constWindow("ghost", 1)}); err == nil {
+		t.Error("SeedHistory accepted a workload outside the baseline")
+	}
+}

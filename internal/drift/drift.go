@@ -297,6 +297,48 @@ func (d *Detector) Window() int { return d.window }
 // window can fire (cool-down permitting).
 func (d *Detector) Armed() bool { return d.armed }
 
+// Cooldown returns how many post-trigger windows remain suppressed.
+// Together with Window and Armed it is the detector's full counter state,
+// checkpointed by the control plane's durability layer.
+func (d *Detector) Cooldown() int { return d.cooldown }
+
+// SeedHistory appends one already-consumed observation window to the
+// rolling-forecast history without scoring it or advancing the window
+// counter — the restore half of a checkpoint. It records exactly what
+// Observe would have recorded for the same samples; restore the counters
+// separately with Restore.
+func (d *Detector) SeedHistory(samples []Sample) error {
+	for i := range samples {
+		s := &samples[i]
+		ws := d.state[s.Workload]
+		if ws == nil {
+			return fmt.Errorf("drift: seeded workload %q is not in the baseline", s.Workload)
+		}
+		for ri, r := range resources {
+			sr := s.get(r)
+			if sr == nil || !ws.base.have[ri] {
+				continue
+			}
+			h := append(ws.history[ri], sr)
+			if len(h) > d.cfg.History {
+				h = h[len(h)-d.cfg.History:]
+			}
+			ws.history[ri] = h
+		}
+	}
+	return nil
+}
+
+// Restore sets the detector's counter state — window count, hysteresis
+// arm, remaining cool-down — to checkpointed values, so a rebuilt
+// detector resumes exactly where the crashed one stopped (a detector that
+// was mid-cool-down must not fire on its first replayed window).
+func (d *Detector) Restore(window int, armed bool, cooldown int) {
+	d.window = window
+	d.armed = armed
+	d.cooldown = cooldown
+}
+
 // Observe consumes one observation window for the fleet and returns a
 // non-nil Trigger when drift fires. Workloads absent from the window are
 // skipped (no signal); workloads the baseline does not track are an error,

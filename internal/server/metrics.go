@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"kairos/internal/journal"
 )
 
 // metrics is a minimal Prometheus text-format registry: per-fleet counters
@@ -31,6 +33,9 @@ type fleetMetrics struct {
 	triggers     int64
 	fevals       int64
 	migrations   int64
+	// failStreak is the consecutive-failure gauge behind the reconcile
+	// loop's solver backoff (reset to 0 on a successful observe).
+	failStreak int64
 	// histogram state for kairos_resolve_duration_seconds.
 	bucketCounts []int64
 	resolveSum   float64 //kairos:unit Seconds
@@ -69,6 +74,14 @@ func (m *metrics) observeWindow(id string, err bool) {
 		return
 	}
 	fm.windows++
+}
+
+// setResolveFailures records a fleet's consecutive re-solve failure count
+// (a gauge; 0 clears it).
+func (m *metrics) setResolveFailures(id string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleetLocked(id).failStreak = int64(n)
 }
 
 // observeTrigger counts one drift-triggered re-solve and its cost.
@@ -118,6 +131,12 @@ func (m *metrics) write(w io.Writer) {
 	counter("kairos_migrations_total", "Units migrated by triggered re-solves.",
 		func(fm *fleetMetrics) int64 { return fm.migrations })
 
+	const gauge = "kairos_resolve_failures_consecutive"
+	fmt.Fprintf(w, "# HELP %s Consecutive failed re-solves (drives the solver backoff).\n# TYPE %s gauge\n", gauge, gauge)
+	for _, id := range ids {
+		fmt.Fprintf(w, "%s{fleet=%q} %d\n", gauge, id, m.perFleet[id].failStreak)
+	}
+
 	const hist = "kairos_resolve_duration_seconds"
 	fmt.Fprintf(w, "# HELP %s Triggered re-solve latency.\n# TYPE %s histogram\n", hist, hist)
 	for _, id := range ids {
@@ -135,4 +154,34 @@ func (m *metrics) write(w io.Writer) {
 // (no trailing zeros).
 func trimFloat(f float64) string {
 	return fmt.Sprintf("%g", f)
+}
+
+// writeJournalMetrics renders the durability metrics: journal counters
+// from the write-ahead log plus the last recovery's summary.
+func writeJournalMetrics(w io.Writer, st journal.Stats, rec *RecoveryStats) {
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	c("kairos_journal_appends_total", "Journal records appended.", st.Appends)
+	c("kairos_journal_syncs_total", "Journal fsync calls.", st.Syncs)
+	c("kairos_journal_snapshots_total", "Journal snapshot rotations.", st.Snapshots)
+	g("kairos_journal_size_bytes", "Journal file size.", st.SizeBytes)
+	g("kairos_journal_seq", "Last assigned journal sequence number.", int64(st.Seq))
+	if rec == nil {
+		return
+	}
+	g("kairos_recovery_fleets", "Fleets rebuilt by the last journal replay.", int64(rec.Fleets))
+	g("kairos_recovery_windows_replayed", "Window records replayed by the last recovery.", int64(rec.Windows))
+	g("kairos_recovery_advances_replayed", "Advance records replayed by the last recovery.", int64(rec.Advances))
+	g("kairos_recovery_rearms_replayed", "Rearm records replayed by the last recovery.", int64(rec.Rearms))
+	g("kairos_recovery_triggers_healed", "Dangling triggers re-armed by the last recovery.", int64(rec.Healed))
+	torn := int64(0)
+	if rec.TornTail {
+		torn = 1
+	}
+	g("kairos_recovery_torn_tail", "Whether the last recovery truncated a torn journal tail.", torn)
+	fmt.Fprintf(w, "# HELP kairos_recovery_duration_seconds Duration of the last journal replay.\n# TYPE kairos_recovery_duration_seconds gauge\nkairos_recovery_duration_seconds %g\n", rec.Elapsed.Seconds())
 }

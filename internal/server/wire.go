@@ -134,6 +134,10 @@ type WindowResponse struct {
 	Window int `json:"window"`
 	// Triggered reports whether this window fired a re-solve.
 	Triggered bool `json:"triggered"`
+	// Duplicate marks an idempotent resend: the window (keyed by its
+	// start_unix) was already acked and this response echoes the original
+	// acknowledgement without re-applying it.
+	Duplicate bool `json:"duplicate,omitempty"`
 	// Event is the re-consolidation event when Triggered (summary form).
 	Event *EventWire `json:"event,omitempty"`
 }
@@ -197,6 +201,109 @@ type EventWire struct {
 // ErrorResponse is every non-2xx body.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// RecordWire is one journal record of the durable control plane: exactly
+// one operation field is set. Every control-plane mutation — registering
+// a fleet, acking an observation window, advancing the incumbent plan,
+// re-arming the detector after a failed re-solve, deregistering — has a
+// record type here and a replay case in recovery.go (the CONTRIBUTING
+// convention for new mutations).
+type RecordWire struct {
+	Register   *RegisterRecord   `json:"register,omitempty"`
+	Window     *WindowRecord     `json:"window,omitempty"`
+	Advance    *AdvanceRecord    `json:"advance,omitempty"`
+	Rearm      *RearmRecord      `json:"rearm,omitempty"`
+	Deregister *DeregisterRecord `json:"deregister,omitempty"`
+}
+
+// RegisterRecord journals one fleet registration: the request as received
+// plus the incumbent the registration-time solve produced, so replay
+// rebuilds the session without re-solving.
+type RegisterRecord struct {
+	Request *RegisterRequest `json:"request"`
+	// Incumbent is the initial plan in durable form.
+	Incumbent *kairos.Incumbent `json:"incumbent"`
+}
+
+// WindowRecord journals one acked observation window, verbatim as it
+// arrived on the wire. It is written before the window is applied (and
+// before it is acked), so every acked window survives a crash.
+type WindowRecord struct {
+	Fleet     string         `json:"fleet"`
+	Workloads []WorkloadWire `json:"workloads"`
+}
+
+// AdvanceRecord journals one incumbent-plan advance. The reconcile loop
+// writes it after the triggered re-solve succeeds but before the plan is
+// published (the library's advance hook), so a recovered server never
+// serves an older plan than one it already published.
+type AdvanceRecord struct {
+	Fleet string `json:"fleet"`
+	// Incumbent is the advanced plan in durable form.
+	Incumbent *kairos.Incumbent `json:"incumbent"`
+	// Event is the published event, for the recovered event log.
+	Event *EventWire `json:"event"`
+}
+
+// RearmRecord journals a detector re-arm: a trigger fired but its
+// re-solve failed (or was suppressed by backoff), so the disarm must not
+// survive replay — otherwise a recovered detector would wait for a
+// hysteresis reset that the live one never required.
+type RearmRecord struct {
+	Fleet string `json:"fleet"`
+}
+
+// DeregisterRecord journals a fleet removal.
+type DeregisterRecord struct {
+	Fleet string `json:"fleet"`
+}
+
+// SnapshotWire is the compacted control-plane state a journal snapshot
+// holds: everything replay needs without the journal prefix it replaces.
+type SnapshotWire struct {
+	Fleets []FleetSnapshot `json:"fleets"`
+}
+
+// FleetSnapshot is one fleet's durable state inside a snapshot.
+type FleetSnapshot struct {
+	// Request is the registration request, replayed structurally (machine
+	// lists, options, disk profile) without re-solving.
+	Request *RegisterRequest `json:"request"`
+	// Incumbent is the current plan in durable form.
+	Incumbent *kairos.Incumbent `json:"incumbent"`
+	// Baseline is the workload set the detector's assumptions came from
+	// (empty while no trigger has fired: the spec itself is the baseline).
+	Baseline []WorkloadWire `json:"baseline,omitempty"`
+	// History is the retained observation windows, oldest first.
+	History [][]WorkloadWire `json:"history,omitempty"`
+	// Detector is the drift detector's counter state.
+	Detector DetectorWire `json:"detector"`
+	// Events is the fleet's re-consolidation event log.
+	Events []*EventWire `json:"events,omitempty"`
+	// Acks is the idempotent-ingest ring: recently acked windows keyed by
+	// start time, so a collector retrying across the restart gets its
+	// original acknowledgement instead of a duplicate apply.
+	Acks []AckWire `json:"acks,omitempty"`
+	// Failures is the reconcile loop's consecutive re-solve failure count.
+	Failures int `json:"failures,omitempty"`
+}
+
+// DetectorWire is the drift detector's checkpointed counter state.
+type DetectorWire struct {
+	Windows  int  `json:"windows"`
+	Armed    bool `json:"armed"`
+	Cooldown int  `json:"cooldown"`
+}
+
+// AckWire is one acked window in the idempotent-ingest ring.
+type AckWire struct {
+	// StartUnix keys the window (the retry contract: collectors that set
+	// start_unix may resend a window and get the original ack back).
+	StartUnix int64 `json:"start_unix"`
+	// Window and Triggered echo the original WindowResponse.
+	Window    int  `json:"window"`
+	Triggered bool `json:"triggered"`
 }
 
 // toWorkloads converts wire workloads into consolidation workloads.
@@ -354,6 +461,60 @@ func toDiskProfile(raw json.RawMessage) (*model.DiskProfile, error) {
 		return nil, err
 	}
 	return dp, nil
+}
+
+// fromWorkloads is toWorkloads' inverse: it renders library workloads
+// back into wire form for snapshots, preserving start/step so the
+// round-trip through toWorkloads reproduces identical series.
+func fromWorkloads(wls []kairos.Workload) []WorkloadWire {
+	vals := func(s *series.Series) []float64 {
+		if s == nil {
+			return nil
+		}
+		return append([]float64(nil), s.Values...)
+	}
+	out := make([]WorkloadWire, len(wls))
+	for i, w := range wls {
+		ww := WorkloadWire{
+			Name:         w.Name,
+			StartUnix:    w.CPU.Start.Unix(),
+			StepSeconds:  w.CPU.Step.Seconds(),
+			CPU:          vals(w.CPU),
+			RAMBytes:     vals(w.RAMBytes),
+			WSBytes:      vals(w.WSBytes),
+			UpdateRate:   vals(w.UpdateRate),
+			DiskWriteBps: vals(w.DiskWriteBps),
+			Replicas:     w.Replicas,
+		}
+		if w.PinTo >= 0 {
+			pin := w.PinTo
+			ww.PinTo = &pin
+		}
+		out[i] = ww
+	}
+	return out
+}
+
+// fromHistory renders checkpointed observation windows for a snapshot.
+func fromHistory(history [][]kairos.Workload) [][]WorkloadWire {
+	out := make([][]WorkloadWire, len(history))
+	for i, w := range history {
+		out[i] = fromWorkloads(w)
+	}
+	return out
+}
+
+// toHistory is fromHistory's inverse.
+func toHistory(history [][]WorkloadWire, needDisk bool) ([][]kairos.Workload, error) {
+	out := make([][]kairos.Workload, len(history))
+	for i, w := range history {
+		wls, err := toWorkloads(w, needDisk)
+		if err != nil {
+			return nil, fmt.Errorf("history window %d: %w", i, err)
+		}
+		out[i] = wls
+	}
+	return out, nil
 }
 
 // planWire renders a plan for the wire. workloads and machines are the

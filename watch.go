@@ -99,11 +99,38 @@ type AutoReconsolidator struct {
 	opt      WatchOptions
 	det      *drift.Detector // guarded by mu
 	inc      *Incumbent      // guarded by mu
+	// baseline is the workload set the detector's current assumptions came
+	// from: the construction baseline until a trigger fires, then each
+	// re-solve's forecast. Checkpoints carry it so a restored detector
+	// rebuilds the same per-resource means.
+	baseline []Workload // guarded by mu
 	// history holds the last `histLen` observation windows, oldest first,
 	// feeding the forecast the triggered re-solve consumes.
 	history [][]Workload // guarded by mu
 	histLen int
+	// onAdvance, when set, runs after a triggered re-solve succeeds but
+	// before its plan is committed as the incumbent — the control plane's
+	// write-ahead hook. An error aborts the advance: nothing is published,
+	// and Observe re-arms the detector so the drift fires again.
+	onAdvance func(*ReconsolidationEvent) error // guarded by mu
 }
+
+// ResolveError marks a drift-triggered re-solve that failed in the solver
+// itself (as opposed to a rejected window or an aborted advance hook).
+// The control plane backs off the fleet's reconcile loop on it.
+type ResolveError struct {
+	// Err is the underlying solver failure.
+	Err error
+}
+
+// Error implements error.
+func (e *ResolveError) Error() string {
+	return fmt.Sprintf("kairos: triggered re-solve failed: %v", e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As (a cancelled
+// context stays recognizable through the wrapper).
+func (e *ResolveError) Unwrap() error { return e.Err }
 
 // NewAutoReconsolidator creates the watch loop around an incumbent plan.
 // baseline is the per-workload series the incumbent was solved against
@@ -136,6 +163,7 @@ func NewAutoReconsolidator(inc *Incumbent, baseline []Workload, machines []Machi
 		opt:      opt,
 		det:      det,
 		inc:      inc,
+		baseline: baseline,
 		histLen:  histLen,
 	}, nil
 }
@@ -212,15 +240,100 @@ func (ar *AutoReconsolidator) resolve(ctx context.Context, trig *DriftTrigger) (
 	problem := &Problem{Workloads: forecast, Machines: ar.machines, Disk: ar.dp}
 	staleObj, staleFeas, _, err := core.PriceIncumbent(problem, ar.inc)
 	if err != nil {
+		return nil, &ResolveError{Err: err}
+	}
+	// Validate the forecast as a detector baseline before solving: once the
+	// advance hook has journaled the event, the commit below must not fail.
+	fcSamples, err := driftSamples(forecast)
+	if err != nil {
 		return nil, err
 	}
 	//kairoslint:allow lockorder: the warm re-solve's worker pool always drains; ctx aborts it on shutdown
 	plan, err := reconsolidate(ctx, forecast, ar.machines, ar.dp, ar.inc, ar.opt.Resolve)
 	if err != nil {
-		return nil, err
+		return nil, &ResolveError{Err: err}
+	}
+	ev := &ReconsolidationEvent{
+		Window:         trig.Window,
+		Trigger:        trig,
+		Plan:           plan,
+		StaleObjective: staleObj,
+		StaleFeasible:  staleFeas,
+		ObjectiveDelta: staleObj - plan.Objective,
+	}
+	// Write-ahead: the control plane journals the advance before anything
+	// publishes. A hook failure aborts the commit entirely.
+	if ar.onAdvance != nil {
+		if err := ar.onAdvance(ev); err != nil {
+			return nil, err
+		}
 	}
 	// The new plan was solved against the forecast: that is the assumption
 	// set future windows drift against.
+	if err := ar.det.SetBaseline(fcSamples); err != nil {
+		return nil, err
+	}
+	ar.baseline = forecast
+	ar.inc = plan.Incumbent()
+	return ev, nil
+}
+
+// observeDetectOnly runs one observation window through the detector and
+// forecast history exactly as Observe does — same state machine, same
+// trimming — but never solves: a fired trigger is only reported. Replay
+// uses it to reconsume journaled windows (the journaled advance, not a
+// fresh solve, decides what the trigger led to), and the control plane
+// uses it to keep monitoring while a reconcile loop is backing off.
+func (ar *AutoReconsolidator) observeDetectOnly(observed []Workload) (triggered bool, err error) {
+	samples, err := driftSamples(observed)
+	if err != nil {
+		return false, err
+	}
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	trig, err := ar.det.Observe(samples)
+	if err != nil {
+		return false, err
+	}
+	ar.history = append(ar.history, observed)
+	if len(ar.history) > ar.histLen {
+		ar.history = ar.history[len(ar.history)-ar.histLen:]
+	}
+	return trig != nil, nil
+}
+
+// rearm forces the detector back to armed with no cool-down, undoing the
+// disarm a trigger caused when its re-solve never committed.
+func (ar *AutoReconsolidator) rearm() {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.det.Rearm()
+}
+
+// replayAdvance re-commits a journaled incumbent advance: the forecast is
+// rebuilt from the replayed history (deterministic — the same windows the
+// live solve forecast from), the journaled incumbent is materialized
+// against it without re-solving, and detector baseline + incumbent move
+// exactly as the live commit moved them.
+func (ar *AutoReconsolidator) replayAdvance(inc *Incumbent) (*Plan, error) {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	if len(ar.history) == 0 {
+		return nil, fmt.Errorf("kairos: replayed advance with no observation history")
+	}
+	forecast, err := forecastWorkloads(ar.history)
+	if err != nil {
+		return nil, fmt.Errorf("kairos: rebuilding forecast for replayed advance: %w", err)
+	}
+	problem := &Problem{Workloads: forecast, Machines: ar.machines, Disk: ar.dp}
+	sol, err := core.SolutionFromIncumbent(problem, inc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := newPlan(problem, sol)
+	if err != nil {
+		return nil, err
+	}
 	fcSamples, err := driftSamples(forecast)
 	if err != nil {
 		return nil, err
@@ -228,15 +341,43 @@ func (ar *AutoReconsolidator) resolve(ctx context.Context, trig *DriftTrigger) (
 	if err := ar.det.SetBaseline(fcSamples); err != nil {
 		return nil, err
 	}
+	ar.baseline = forecast
 	ar.inc = plan.Incumbent()
-	return &ReconsolidationEvent{
-		Window:         trig.Window,
-		Trigger:        trig,
-		Plan:           plan,
-		StaleObjective: staleObj,
-		StaleFeasible:  staleFeas,
-		ObjectiveDelta: staleObj - plan.Objective,
-	}, nil
+	return plan, nil
+}
+
+// checkpoint exports the loop's full durable state under ar.mu.
+func (ar *AutoReconsolidator) checkpoint() (baseline []Workload, history [][]Workload, inc *Incumbent, window int, armed bool, cooldown int) {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	history = make([][]Workload, len(ar.history))
+	for i, w := range ar.history {
+		history[i] = append([]Workload(nil), w...)
+	}
+	return append([]Workload(nil), ar.baseline...), history, ar.inc,
+		ar.det.Window(), ar.det.Armed(), ar.det.Cooldown()
+}
+
+// restore seeds a freshly built loop with checkpointed history and
+// detector counters. Call it before the first Observe.
+func (ar *AutoReconsolidator) restore(history [][]Workload, window int, armed bool, cooldown int) error {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	for _, w := range history {
+		samples, err := driftSamples(w)
+		if err != nil {
+			return fmt.Errorf("kairos: restoring observation history: %w", err)
+		}
+		if err := ar.det.SeedHistory(samples); err != nil {
+			return err
+		}
+	}
+	ar.history = append([][]Workload(nil), history...)
+	if len(ar.history) > ar.histLen {
+		ar.history = ar.history[len(ar.history)-ar.histLen:]
+	}
+	ar.det.Restore(window, armed, cooldown)
+	return nil
 }
 
 // Watch drives an AutoReconsolidator over a sequence of observation
