@@ -86,15 +86,18 @@ serve-smoke:
 	./scripts/serve-smoke.sh
 
 # Lint: vet, formatting, and the repo's own analyzer suite (kairoslint:
-# per-package hotalloc/lockguard/floatdet/wirejson plus the whole-program
-# ctxflow/hotcall/lockorder/unitsafe call-graph checks — see
+# per-package hotalloc/lockguard/floatdet/wirejson/errflow plus the
+# whole-program call-graph and dataflow checks — ctxflow/hotcall/
+# lockorder/unitsafe and walorder/leakcheck/atomicmix; see
 # CONTRIBUTING.md). Runs from the module root; kairoslint walks the same
 # package graph as the build via `go list`, loading packages in parallel.
+# The 30s budget matches CI: if load+analysis blow past it the run exits 3,
+# keeping analyzer regressions from hiding inside a slow lint step.
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" $$out; exit 1; fi
-	$(GO) run ./cmd/kairoslint ./...
+	$(GO) run ./cmd/kairoslint -budget 30s ./...
 
 fmt:
 	gofmt -w .

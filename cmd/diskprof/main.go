@@ -84,17 +84,25 @@ func main() {
 		time.Since(start).Round(time.Millisecond), len(profile.Points), profile.HasEnvelope)
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		var err error
+		if f, err = os.Create(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "diskprof:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := profile.Save(w); err != nil {
 		fmt.Fprintln(os.Stderr, "diskprof:", err)
 		os.Exit(1)
+	}
+	// Close reports deferred write errors on a written file; dropping it
+	// could silently truncate the profile.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "diskprof:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -73,7 +73,7 @@ func saveIncumbent(path string, inc *kairos.Incumbent) error {
 		return err
 	}
 	if err := inc.Save(f); err != nil {
-		f.Close()
+		f.Close() //kairoslint:allow errflow: already failing with the save error; a close error would mask it
 		return err
 	}
 	return f.Close()

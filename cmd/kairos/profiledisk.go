@@ -32,7 +32,7 @@ func cmdProfileDisk(args []string) error {
 		return err
 	}
 	if err := dp.Save(f); err != nil {
-		f.Close()
+		f.Close() //kairoslint:allow errflow: already failing with the save error; a close error would mask it
 		return err
 	}
 	// An unchecked Close on a written file can silently drop the profile:

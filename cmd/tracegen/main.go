@@ -43,8 +43,13 @@ func writeCSV(dir string, f fleet.Fleet) error {
 	if err != nil {
 		return err
 	}
-	defer out.Close()
 	if err := f.WriteCSV(out); err != nil {
+		out.Close() //kairoslint:allow errflow: already failing with the write error; a close error would mask it
+		return err
+	}
+	// Close reports deferred write errors on a written file; dropping it
+	// could silently truncate the trace.
+	if err := out.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %s (%d servers x %d samples)\n",
@@ -69,7 +74,7 @@ func writeRRD(dir string, f fleet.Fleet) error {
 			return err
 		}
 		if _, err := db.WriteTo(out); err != nil {
-			out.Close()
+			out.Close() //kairoslint:allow errflow: already failing with the write error; a close error would mask it
 			return err
 		}
 		if err := out.Close(); err != nil {

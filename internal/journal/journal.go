@@ -232,7 +232,7 @@ func Open(dir string, opt Options) (*Log, *Recovered, error) {
 	}
 	raw, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
+		f.Close() //kairoslint:allow errflow: already failing with the read error; a close error would mask it
 		return nil, nil, fmt.Errorf("journal: reading journal: %w", err)
 	}
 
@@ -258,12 +258,12 @@ func Open(dir string, opt Options) (*Log, *Recovered, error) {
 		rec.TornTail = true
 		rec.TornOffset = good
 		if err := f.Truncate(good); err != nil {
-			f.Close()
+			f.Close() //kairoslint:allow errflow: already failing with the truncate error; a close error would mask it
 			return nil, nil, fmt.Errorf("journal: truncating torn tail at %d: %w", good, err)
 		}
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		f.Close() //kairoslint:allow errflow: already failing with the seek error; a close error would mask it
 		return nil, nil, fmt.Errorf("journal: seeking to append position: %w", err)
 	}
 
@@ -296,7 +296,7 @@ func (l *Log) flushLoop() {
 			// Best effort: an interval-policy flush failure surfaces on
 			// the next explicit Sync/Close, and the policy already
 			// tolerates a bounded unsynced window.
-			_ = l.Sync()
+			_ = l.Sync() //kairoslint:allow errflow: interval-policy flush; a failure surfaces on the next explicit Sync/Close
 		case <-l.stop:
 			return
 		}
@@ -386,8 +386,8 @@ func (l *Log) Snapshot(state []byte) error {
 		return fmt.Errorf("journal: creating snapshot temp file: %w", err)
 	}
 	if err := l.write(tf, PointSnapshotWrite, frame); err != nil {
-		tf.Close()
-		os.Remove(tmp)
+		tf.Close()     //kairoslint:allow errflow: already failing with the write error; a close error would mask it
+		os.Remove(tmp) //kairoslint:allow errflow: best-effort cleanup of the temp snapshot on the failure path
 		return fmt.Errorf("journal: writing snapshot: %w", err)
 	}
 	if err := func() error {
@@ -396,20 +396,20 @@ func (l *Log) Snapshot(state []byte) error {
 		}
 		return tf.Sync()
 	}(); err != nil {
-		tf.Close()
-		os.Remove(tmp)
+		tf.Close()     //kairoslint:allow errflow: already failing with the fsync error; a close error would mask it
+		os.Remove(tmp) //kairoslint:allow errflow: best-effort cleanup of the temp snapshot on the failure path
 		return fmt.Errorf("journal: fsync of snapshot: %w", err)
 	}
 	if err := tf.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //kairoslint:allow errflow: best-effort cleanup of the temp snapshot on the failure path
 		return fmt.Errorf("journal: closing snapshot temp file: %w", err)
 	}
 	if _, err := l.opt.Fault.check(PointSnapshotRename); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //kairoslint:allow errflow: best-effort cleanup of the temp snapshot on the failure path
 		return fmt.Errorf("journal: renaming snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //kairoslint:allow errflow: best-effort cleanup of the temp snapshot on the failure path
 		return fmt.Errorf("journal: renaming snapshot: %w", err)
 	}
 	l.syncDir()
@@ -441,8 +441,8 @@ func (l *Log) syncDir() {
 	if err != nil {
 		return
 	}
-	_ = d.Sync()
-	_ = d.Close()
+	_ = d.Sync()  //kairoslint:allow errflow: best-effort directory sync; rename durability is advisory on some filesystems
+	_ = d.Close() //kairoslint:allow errflow: read-only directory handle; close reports nothing actionable
 }
 
 // write writes b to f through the fault injector: an armed write point
@@ -451,7 +451,7 @@ func (l *Log) write(f *os.File, point string, b []byte) error {
 	frac, err := l.opt.Fault.check(point)
 	if err != nil {
 		if n := int(frac * float64(len(b))); n > 0 {
-			_, _ = f.Write(b[:min(n, len(b))])
+			_, _ = f.Write(b[:min(n, len(b))]) //kairoslint:allow errflow: deliberate torn write; the injected fault error is about to be returned
 		}
 		return err
 	}

@@ -1,0 +1,127 @@
+// Package atomicmix catches mixed atomic/plain access: a variable or
+// field that any code touches through sync/atomic (AddInt64, Load,
+// Store, Swap, CompareAndSwap — the address-taking functions) must be
+// accessed through sync/atomic everywhere. One plain read beside an
+// atomic write is a data race the race detector only sees when the
+// interleaving happens; this proves it at analysis time, program-wide,
+// so a counter updated atomically in one package cannot be read plainly
+// from another. Typed atomics (atomic.Bool, atomic.Int64) are safe by
+// construction and out of scope — prefer them for new code.
+//
+// A deliberately unsynchronized access — a reader that provably runs
+// after all writers joined — takes a //kairoslint:allow atomicmix:
+// <reason> waiver.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kairos/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "atomicmix",
+	Doc:        "forbids plain reads/writes of variables accessed through sync/atomic anywhere",
+	RunProgram: run,
+}
+
+func run(prog *analysis.Program) error {
+	atomicObjs, sanctioned := collectAtomicUses(prog)
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	for _, pkg := range prog.Packages {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					return true
+				}
+				key := prog.Fset.Position(obj.Pos()).String()
+				if !atomicObjs[key] || sanctioned[id.Pos()] {
+					return true
+				}
+				prog.Reportf(id.Pos(), "plain access of %s, which is updated through sync/atomic elsewhere — use atomic ops everywhere or a typed atomic", id.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectAtomicUses finds every `&x` handed to a sync/atomic function,
+// program-wide. It returns the touched objects (keyed by defining
+// position, the cross-universe identity) and the sanctioned identifier
+// positions — the references inside those atomic arguments themselves.
+func collectAtomicUses(prog *analysis.Program) (objs map[string]bool, sanctioned map[token.Pos]bool) {
+	objs, sanctioned = map[string]bool{}, map[token.Pos]bool{}
+	for _, pkg := range prog.Packages {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if obj := rootObj(info, un.X); obj != nil {
+						objs[prog.Fset.Position(obj.Pos()).String()] = true
+					}
+					// Every identifier on the &-operand path is part of
+					// the atomic access itself.
+					ast.Inspect(un.X, func(c ast.Node) bool {
+						if id, ok := c.(*ast.Ident); ok {
+							sanctioned[id.Pos()] = true
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	}
+	return objs, sanctioned
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// rootObj resolves the variable or field the expression names.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return rootObj(info, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Package atomfix exercises atomicmix: fields touched through
+// sync/atomic must never be read or written plainly.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want "plain access of hits"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "plain access of hits"
+}
+
+// misses is never touched atomically: plain access is fine.
+func (c *counter) plainOnly() int64 {
+	c.misses++
+	return c.misses
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func waivedRead() int64 {
+	return global //kairoslint:allow atomicmix: fixture waiver — reader runs after all writers joined
+}

@@ -202,6 +202,103 @@ func caller(f func()) {
 	}
 }
 
+// TestGoInsideLoops: a go statement keeps its concurrency flag no matter
+// how it is reached — directly in a loop body, or through a closure the
+// loop launches.
+func TestGoInsideLoops(t *testing.T) {
+	g := Of(progOf(t, `package fix
+
+func work() {}
+
+func spawner(jobs []int) {
+	for i := 0; i < len(jobs); i++ {
+		go work()
+	}
+	for range jobs {
+		go func() { work() }()
+	}
+}
+`))
+	spawner := nodeNamed(t, g, "spawner")
+	if len(spawner.Out) != 2 {
+		t.Fatalf("spawner has %d edges (%v), want 2", len(spawner.Out), calleeNames(spawner.Out))
+	}
+	for i, e := range spawner.Out {
+		if !e.Go {
+			t.Errorf("edge %d (%s): Go=false, want true — loop spawns are still concurrent", i, e.Callee.Func.Name())
+		}
+		if e.Defer || e.InPanic {
+			t.Errorf("edge %d picked up spurious context flags: %+v", i, e)
+		}
+	}
+}
+
+// TestDeferredClosureInterior: calls inside `defer func(){...}()` carry
+// Defer (they run at unwind time) but not InClosure (the literal is
+// invoked at its defer site, not stored). A closure that is stored and
+// deferred later is the opposite: its interior is InClosure, and the
+// deferred invocation itself is unresolved.
+func TestDeferredClosureInterior(t *testing.T) {
+	g := Of(progOf(t, `package fix
+
+func cleanup() {}
+
+func work() {}
+
+func caller() {
+	defer func() {
+		cleanup()
+	}()
+	f := func() { work() }
+	defer f()
+}
+`))
+	caller := nodeNamed(t, g, "caller")
+	names := calleeNames(caller.Out)
+	if len(names) != 2 || names[0] != "cleanup" || names[1] != "work" {
+		t.Fatalf("caller edges = %v, want [cleanup work]", names)
+	}
+	if e := caller.Out[0]; !e.Defer || e.InClosure {
+		t.Errorf("cleanup edge: defer=%v closure=%v, want defer inside an immediately-deferred literal", e.Defer, e.InClosure)
+	}
+	if e := caller.Out[1]; e.Defer || !e.InClosure {
+		t.Errorf("work edge: defer=%v closure=%v, want a plain closure interior", e.Defer, e.InClosure)
+	}
+	if len(caller.Unresolved) != 1 {
+		t.Errorf("caller has %d unresolved calls, want 1 (defer f())", len(caller.Unresolved))
+	}
+}
+
+// TestMethodValues: calling through a method value is a func-value call
+// the graph cannot resolve, while the same method deferred directly is a
+// static edge.
+func TestMethodValues(t *testing.T) {
+	g := Of(progOf(t, `package fix
+
+type T struct{}
+
+func (T) Bump() {}
+
+func caller(t T) {
+	f := t.Bump
+	f()
+	go f()
+	defer t.Bump()
+}
+`))
+	caller := nodeNamed(t, g, "caller")
+	names := calleeNames(caller.Out)
+	if len(names) != 1 || names[0] != "T.Bump" {
+		t.Fatalf("caller edges = %v, want only the direct defer t.Bump()", names)
+	}
+	if e := caller.Out[0]; e.Kind != Static || !e.Defer {
+		t.Errorf("defer t.Bump(): kind=%v defer=%v, want a static deferred edge", e.Kind, e.Defer)
+	}
+	if len(caller.Unresolved) != 2 {
+		t.Errorf("caller has %d unresolved calls, want 2 (f() and go f())", len(caller.Unresolved))
+	}
+}
+
 func TestSummaries(t *testing.T) {
 	g := Of(progOf(t, `package fix
 

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "errfix")
+}

@@ -1,0 +1,94 @@
+// Package errfix exercises errflow: blank discards, dropped results,
+// deferred Close, and the def-use overwritten-before-read rule.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func produce() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+func discards() {
+	_ = produce()  // want "error discarded with _"
+	n, _ := pair() // want "error discarded with _"
+	_ = n
+	_ = produce() //kairoslint:allow errflow: fixture proving the waiver silences the discard rule
+}
+
+func drops() {
+	produce() // want "call drops its error result"
+	fmt.Println("diagnostics are exempt")
+	var b strings.Builder
+	b.WriteString("never fails")
+}
+
+func deferClose(c closer, q quietCloser) {
+	defer c.Close() // want "deferred Close drops its error"
+	defer q.Close() // no error to drop
+	defer func() {
+		if err := c.Close(); err != nil {
+			fmt.Println("close:", err)
+		}
+	}()
+	//kairoslint:allow errflow: fixture waiver — read-only handle, close error carries no data
+	defer c.Close()
+}
+
+func deadWrite() error {
+	err := produce() // want "overwritten at line"
+	err = produce()
+	return err
+}
+
+func liveWrite() error {
+	err := produce()
+	if err != nil {
+		return err
+	}
+	err = produce()
+	return err
+}
+
+func oneBranchOverwrite(cond bool) error {
+	err := produce()
+	if cond {
+		err = produce()
+	}
+	return err
+}
+
+func loopOverwrite(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = produce()
+	}
+	return err
+}
+
+func captured() error {
+	var err error
+	g := func() { err = produce() }
+	err = produce()
+	g()
+	return err
+}
+
+func inClosure() func() error {
+	return func() error {
+		err := produce() // want "overwritten at line"
+		err = produce()
+		return err
+	}
+}

@@ -1,0 +1,17 @@
+package errfix
+
+// Test files are exempt from the discard/dropped-result/deferred-Close
+// rules (tests assert through their own helpers), but the def-use
+// overwritten-before-read rule still binds: a test that drops the first
+// error asserts the wrong thing.
+
+func testStyleDiscard() {
+	_ = produce()
+	produce()
+}
+
+func testDeadWrite() error {
+	err := produce() // want "overwritten at line"
+	err = produce()
+	return err
+}

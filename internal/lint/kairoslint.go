@@ -5,37 +5,48 @@
 // suite; cmd/kairoslint is the multichecker binary and `make lint` runs
 // it over ./...
 //
-// The suite has two tiers. Per-package analyzers (floatdet, hotalloc,
-// lockguard, wirejson) see one package at a time and run in parallel
-// across packages. Whole-program analyzers (ctxflow, hotcall,
-// lockorder, unitsafe) run over the interprocedural call graph built by
-// internal/lint/callgraph, closing contracts that no single package can
-// prove: lock acquisition order, context threading, transitive
-// allocation freedom, and unit consistency.
+// The suite has two tiers. Per-package analyzers (errflow, floatdet,
+// hotalloc, lockguard, wirejson) see one package at a time and run in
+// parallel across packages. Whole-program analyzers (atomicmix,
+// ctxflow, hotcall, leakcheck, lockorder, unitsafe, walorder) run over
+// the interprocedural call graph built by internal/lint/callgraph,
+// closing contracts that no single package can prove: lock acquisition
+// order, context threading, transitive allocation freedom, unit
+// consistency, goroutine termination, atomic/plain access mixing, and
+// the control plane's journal-append-before-ack WAL contract (walorder,
+// built on the internal/lint/dataflow dominance layer).
 package lint
 
 import (
 	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/atomicmix"
 	"kairos/internal/lint/ctxflow"
+	"kairos/internal/lint/errflow"
 	"kairos/internal/lint/floatdet"
 	"kairos/internal/lint/hotalloc"
 	"kairos/internal/lint/hotcall"
+	"kairos/internal/lint/leakcheck"
 	"kairos/internal/lint/lockguard"
 	"kairos/internal/lint/lockorder"
 	"kairos/internal/lint/unitsafe"
+	"kairos/internal/lint/walorder"
 	"kairos/internal/lint/wirejson"
 )
 
 // Analyzers returns the full suite in output order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctxflow.Analyzer,
+		errflow.Analyzer,
 		floatdet.Analyzer,
 		hotalloc.Analyzer,
 		hotcall.Analyzer,
+		leakcheck.Analyzer,
 		lockguard.Analyzer,
 		lockorder.Analyzer,
 		unitsafe.Analyzer,
+		walorder.Analyzer,
 		wirejson.Analyzer,
 	}
 }

@@ -1,0 +1,254 @@
+// Package leakcheck proves every goroutine spawned from library code
+// has a termination path. A `go` statement whose body can loop forever
+// — a condition-less `for {}` or a range over a channel — must carry
+// one of three evidence shapes, the same ones the serving stack's own
+// goroutines use:
+//
+//   - context cancellation: the body consults ctx.Done() or ctx.Err(),
+//     so cancelling the context the spawner threaded in stops the loop;
+//   - owned channel close: the body ranges over / receives from a
+//     channel object that some reachable code close()s, so the producer
+//     shutting down drains and stops the consumer;
+//   - WaitGroup join: the body calls Done on a sync.WaitGroup whose
+//     Wait is called somewhere in the program — the goroutine is joined
+//     by a shutdown path, and whoever owns the group bounds its life.
+//
+// Bounded loops (`for i < n`, range over a slice) need no evidence, and
+// main packages and test files are exempt — an entry point's goroutines
+// die with the process, a test's with the test binary. A deliberate
+// fire-and-forget goroutine takes a //kairoslint:allow leakcheck:
+// <reason> waiver at the go statement.
+//
+// The analyzer inspects the directly spawned body only (a FuncLit or
+// the static callee's declaration); spawn targets it cannot resolve —
+// function values, method values — are skipped, not flagged.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kairos/internal/lint/analysis"
+	"kairos/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "leakcheck",
+	Doc:        "requires goroutines spawned from library code to have a termination path",
+	RunProgram: run,
+}
+
+func run(prog *analysis.Program) error {
+	g := callgraph.Of(prog)
+	closed, waited := programEvidence(prog)
+	for _, pkg := range prog.Packages {
+		if pkg.Pkg.Name() == "main" {
+			continue
+		}
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			if strings.HasSuffix(prog.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, binfo := spawnedBody(g, info, gs)
+				if body == nil {
+					return true
+				}
+				loop := unboundedLoop(binfo, body)
+				if loop == "" {
+					return true
+				}
+				if hasTermination(prog, binfo, body, closed, waited) {
+					return true
+				}
+				prog.Reportf(gs.Go, "goroutine's %s has no termination path — consult ctx.Done(), receive from a channel someone closes, or join it with a waited WaitGroup", loop)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// spawnedBody resolves what the go statement runs: a literal's body, or
+// the static callee's declaration. The callee may live in another
+// package, so resolution goes through the call graph's cross-universe
+// node identity. Unresolvable spawns (function values) return nil.
+func spawnedBody(g *callgraph.Graph, info *types.Info, gs *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return fl.Body, info
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else {
+			fn, _ = info.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	if fn == nil {
+		return nil, nil
+	}
+	node := g.NodeOf(fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil, nil
+	}
+	return node.Decl.Body, node.Pkg.TypesInfo
+}
+
+// unboundedLoop names the first potentially-infinite loop the spawned
+// body runs itself (nested closures excluded — they block whoever calls
+// them, not this goroutine): a `for` with no condition, or a range over
+// a channel. Bounded loops terminate on their own and need no evidence.
+func unboundedLoop(info *types.Info, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				found = "for {} loop"
+			}
+		case *ast.RangeStmt:
+			if isChan(info.TypeOf(n.X)) {
+				found = "range over a channel"
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasTermination scans the spawned body (nested closures included —
+// `defer func() { wg.Done() }()` is evidence) for any of the three
+// termination shapes.
+func hasTermination(prog *analysis.Program, info *types.Info, body *ast.BlockStmt, closed, waited map[string]bool) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// ctx.Done() / ctx.Err() on a context.Context receiver.
+			if (n.Sel.Name == "Done" || n.Sel.Name == "Err") && isContext(info.TypeOf(n.X)) {
+				ok = true
+			}
+		case *ast.CallExpr:
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Done" && isWaitGroup(info.TypeOf(sel.X)) {
+				if obj := rootObj(info, sel.X); obj != nil && waited[prog.Fset.Position(obj.Pos()).String()] {
+					ok = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-ch where ch is a channel object someone closes.
+			if n.Op == token.ARROW {
+				if obj := rootObj(info, n.X); obj != nil && closed[prog.Fset.Position(obj.Pos()).String()] {
+					ok = true
+				}
+			}
+		case *ast.RangeStmt:
+			if isChan(info.TypeOf(n.X)) {
+				if obj := rootObj(info, n.X); obj != nil && closed[prog.Fset.Position(obj.Pos()).String()] {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// programEvidence indexes, program-wide and keyed by defining position:
+// channel objects passed to close(), and sync.WaitGroup objects whose
+// Wait() is called.
+func programEvidence(prog *analysis.Program) (closed, waited map[string]bool) {
+	closed, waited = map[string]bool{}, map[string]bool{}
+	for _, pkg := range prog.Packages {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						if obj := rootObj(info, call.Args[0]); obj != nil {
+							closed[prog.Fset.Position(obj.Pos()).String()] = true
+						}
+						return true
+					}
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroup(info.TypeOf(sel.X)) {
+					if obj := rootObj(info, sel.X); obj != nil {
+						waited[prog.Fset.Position(obj.Pos()).String()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return closed, waited
+}
+
+// rootObj resolves the variable or field object a channel/WaitGroup
+// expression names, or nil for unresolvable shapes (call results).
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok
+}
+
+func isContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

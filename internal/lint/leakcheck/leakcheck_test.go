@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/leakcheck"
+)
+
+func TestLeakcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", leakcheck.Analyzer, "leakfix")
+}

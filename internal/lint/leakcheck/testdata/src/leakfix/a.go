@@ -1,0 +1,99 @@
+// Package leakfix exercises leakcheck: unbounded goroutine loops with
+// and without each of the three termination-evidence shapes.
+package leakfix
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	jobs chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// leaky spawns a for{} loop with no termination evidence.
+func leaky(ch chan int) {
+	go func() { // want "no termination path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// ctxLoop consults ctx.Done: cancellation is the termination path.
+func ctxLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// closedRange ranges over a channel its owner closes on shutdown.
+func (p *pool) closedRange() {
+	go func() {
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+func (p *pool) shutdown() {
+	close(p.jobs)
+}
+
+// joined loops until its stop channel closes and is joined through a
+// waited WaitGroup.
+func (p *pool) joined() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			<-p.stop
+		}
+	}()
+}
+
+func (p *pool) wait() {
+	p.wg.Wait()
+}
+
+// bounded loops terminate on their own: no evidence needed.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+// worker is spawned by name; the static callee's body is inspected.
+func worker(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func spawnsWorker(ch chan int) {
+	go worker(ch) // want "no termination path"
+}
+
+// unresolvable spawn targets are skipped, not flagged.
+func spawnsValue(f func()) {
+	go f()
+}
+
+// waived: a deliberate fire-and-forget goroutine.
+func waived(ch chan int) {
+	//kairoslint:allow leakcheck: fixture proving the waiver silences the goroutine rule
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"kairos/internal/lint/analysistest"
+	"kairos/internal/lint/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, "testdata", walorder.Analyzer, "walfix")
+}

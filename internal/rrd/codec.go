@@ -28,7 +28,7 @@ const (
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
 	buf.WriteString(magic)
-	write := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	write := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) } //kairoslint:allow errflow: binary.Write to a bytes.Buffer cannot fail for fixed-size values
 	write(uint32(version))
 	write(db.start.UnixNano())
 	write(int64(db.step))

@@ -211,7 +211,7 @@ func Open(cfg Config) (*Server, error) {
 		stats, err := s.replay(rec)
 		s.recovering.Store(false)
 		if err != nil {
-			l.Close()
+			l.Close() //kairoslint:allow errflow: already failing with the replay error; a close error would mask it
 			cancel()
 			return nil, fmt.Errorf("server: recovering from %s: %w", cfg.StateDir, err)
 		}
@@ -280,10 +280,21 @@ func (s *Server) close(snapshot bool) error {
 }
 
 // writeJSON writes v as a JSON response with the given status.
+//
+// in any handler that journals, the append must come first.
+//
+//kairos:ack — a JSON body is how mutations are acknowledged to clients;
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //kairoslint:allow errflow: status already committed; an encode failure only truncates the body, which the client sees
+}
+
+// writeNoContent acknowledges a mutation that has no response body.
+//
+//kairos:ack — same contract as writeJSON: journal before acking.
+func writeNoContent(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // writeErr writes an ErrorResponse.
@@ -579,6 +590,10 @@ func (s *Server) processWindow(ctx context.Context, sess *session, req ingestReq
 
 // recordAck stores a window's acknowledgement in the idempotent-ingest
 // ring, evicting the oldest entry beyond ackRingSize.
+//
+// so the window must already be journaled.
+//
+//kairos:ack — entering the ring makes resends return the original ack,
 func (s *Server) recordAck(sess *session, key int64, resp ingestResp) {
 	if key == 0 {
 		return
@@ -773,28 +788,27 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	sess := s.fleets[id]
-	if sess != nil {
-		// Journal the deregistration before removing it: recovery must not
-		// resurrect a fleet the client saw deleted. A refused append keeps
-		// the fleet registered (retryable).
-		if err := s.appendRecord(&RecordWire{Deregister: &DeregisterRecord{Fleet: id}}); err != nil {
-			s.mu.Unlock()
-			writeUnavailable(w, "journaling deregistration: %v", err)
-			return
-		}
-		delete(s.fleets, id)
-	}
-	n := len(s.fleets)
-	s.mu.Unlock()
 	if sess == nil {
+		s.mu.Unlock()
 		writeErr(w, http.StatusNotFound, "unknown fleet %q", id)
 		return
 	}
+	// Journal the deregistration before removing it: recovery must not
+	// resurrect a fleet the client saw deleted. A refused append keeps
+	// the fleet registered (retryable).
+	if err := s.appendRecord(&RecordWire{Deregister: &DeregisterRecord{Fleet: id}}); err != nil {
+		s.mu.Unlock()
+		writeUnavailable(w, "journaling deregistration: %v", err)
+		return
+	}
+	delete(s.fleets, id)
+	n := len(s.fleets)
+	s.mu.Unlock()
 	s.met.setFleets(n)
 	sess.cancel()
 	<-sess.done
 	s.logf("fleet %q deregistered", id)
-	w.WriteHeader(http.StatusNoContent)
+	writeNoContent(w)
 }
 
 // handleMetrics is GET /metrics.
